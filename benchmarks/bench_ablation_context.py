@@ -1,0 +1,42 @@
+"""ABL2 — issue contexts vs bare trace descriptions.
+
+Reproduces the §3 observation that "without proper context, LLMs can
+only generate vacuous and general replies to HPC I/O traces": with the
+I/O Performance Issue Contexts stripped from every prompt, the model
+produces generic guidance, runs no analysis code, and detects nothing.
+"""
+
+from __future__ import annotations
+
+from conftest import save_and_print
+
+from repro.evaluation import run_context_ablation
+
+
+def _render(results) -> str:
+    lines = [
+        "=" * 70,
+        "ABL2 — issue-context ablation (FIG2 suite)",
+        "=" * 70,
+        f"{'variant':<14s} {'recall':>8s} {'precision':>10s} {'mitigation':>11s}",
+    ]
+    for result in results:
+        lines.append(
+            f"{result.variant:<14s} {result.recall:>8.3f} "
+            f"{result.precision:>10.3f} {result.mitigation_recall:>11.3f}"
+        )
+    lines.append("")
+    lines.append(
+        "Shape: in-context issue knowledge is what turns the model from a\n"
+        "generic chatbot into an I/O analyst; without it, recall collapses\n"
+        "to zero (vacuous replies, no analysis code executed)."
+    )
+    return "\n".join(lines)
+
+
+def test_context_ablation(benchmark, output_dir):
+    results = benchmark.pedantic(run_context_ablation, rounds=1, iterations=1)
+    save_and_print(output_dir, "ablation_context.txt", _render(results))
+    by_variant = {result.variant: result for result in results}
+    assert by_variant["with-context"].recall == 1.0
+    assert by_variant["no-context"].recall == 0.0

@@ -1,0 +1,77 @@
+"""ABL3 — sensitivity of Drishti's verdicts to its fixed thresholds.
+
+Reproduces the §2 criticism: Drishti's "small request" definition
+(< 1 MiB, > 10% of requests) is an expert-tuned constant that changes
+the verdict set when moved.  The sweep shows the trace count flagged
+for small I/O jumping as the size threshold crosses the workloads'
+transfer sizes — the 1 MiB default misses the ior-easy-1m traces whose
+requests are small relative to the 4 MiB RPC (which ION reports, with
+the aggregation mitigation, from system facts alone).
+"""
+
+from __future__ import annotations
+
+from conftest import save_and_print
+
+from repro.evaluation import run_threshold_sweep
+from repro.util.units import KIB, MIB, format_size
+from repro.workloads import FIGURE2_WORKLOADS
+
+SWEEP_WORKLOADS = FIGURE2_WORKLOADS + ("ior-easy-mixed",)
+
+SIZES = (4 * KIB, 100 * KIB, MIB, 2 * MIB, 4 * MIB)
+RATIOS = (0.01, 0.10, 0.50, 0.95)
+
+
+def _render(points) -> str:
+    lines = [
+        "=" * 70,
+        "ABL3 — Drishti small-I/O threshold sweep (FIG2 suite + ior-easy-mixed)",
+        "=" * 70,
+        f"{'small_size':>10s} {'ratio':>6s} {'recall':>8s} "
+        f"{'precision':>10s} {'flagged small-I/O':>18s}",
+    ]
+    for point in points:
+        lines.append(
+            f"{format_size(point.small_size):>10s} {point.small_ratio:>6.2f} "
+            f"{point.recall:>8.3f} {point.precision:>10.3f} "
+            f"{point.flagged_small_io:>12d}/7"
+        )
+    lines.append("")
+    lines.append(
+        "Shape: the set of traces labelled 'small I/O' moves with BOTH\n"
+        "thresholds: 5/7 at the 1 MiB size default, 7/7 at the RPC size,\n"
+        "0/7 at 4 KiB; and the mixed workload (25% small ops) flips with\n"
+        "the ratio cutoff (flagged at 10%, missed at 50%).  The right\n"
+        "constants depend on the system and workload — the paper's\n"
+        "argument for describing issues by system facts instead of tuned\n"
+        "cutoffs."
+    )
+    return "\n".join(lines)
+
+
+def test_threshold_sweep(benchmark, output_dir):
+    points = benchmark.pedantic(
+        run_threshold_sweep,
+        args=(SIZES, RATIOS),
+        kwargs={"names": SWEEP_WORKLOADS},
+        rounds=1,
+        iterations=1,
+    )
+    save_and_print(output_dir, "ablation_drishti_thresholds.txt", _render(points))
+    flagged_at = {
+        (point.small_size, point.small_ratio): point.flagged_small_io
+        for point in points
+    }
+    # The paper's complaint, concretely: the default (1 MiB) and the
+    # RPC-informed (4 MiB) thresholds disagree on how many of the six
+    # traces have a small-I/O problem.
+    assert flagged_at[(MIB, 0.10)] != flagged_at[(4 * MIB, 0.10)]
+    # A tiny threshold also changes the verdict set.
+    assert flagged_at[(4 * KIB, 0.10)] != flagged_at[(4 * MIB, 0.10)]
+    # The ratio dimension matters too: the mixed workload's 25% small
+    # ops are flagged at the 10% default but not at a 50% cutoff.
+    assert flagged_at[(MIB, 0.10)] != flagged_at[(MIB, 0.50)]
+    # Recall varies across the sweep: the verdicts are threshold-bound.
+    recalls = {point.recall for point in points}
+    assert len(recalls) > 1

@@ -1,0 +1,62 @@
+"""PERF1 — Extractor throughput versus trace size.
+
+The paper's extractor must chew through full production Darshan logs
+(hundreds of thousands of DXT rows); this bench measures CSV extraction
+throughput at three trace sizes and checks it stays roughly linear.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+import pytest
+from conftest import save_and_print
+
+from repro.ion.extractor import Extractor
+from repro.workloads.ior import IorConfig, IorWorkload
+
+
+def make_trace(segments: int):
+    workload = IorWorkload(
+        config=IorConfig(
+            mode="hard", nprocs=4, transfer_size=47008, segments=segments
+        )
+    )
+    return workload.run().log
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {segments: make_trace(segments) for segments in (250, 1000, 4000)}
+
+
+@pytest.mark.parametrize("segments", [250, 1000, 4000])
+def test_extractor_throughput(benchmark, traces, segments):
+    log = traces[segments]
+
+    def extract():
+        with tempfile.TemporaryDirectory() as out:
+            return Extractor().extract(log, out)
+
+    result = benchmark.pedantic(extract, rounds=3, iterations=1)
+    assert result.row_counts["DXT"] == len(log.dxt_segments)
+
+
+def test_extractor_scaling_is_roughly_linear(output_dir, traces):
+    timings = {}
+    for segments, log in traces.items():
+        start = time.perf_counter()
+        with tempfile.TemporaryDirectory() as out:
+            Extractor().extract(log, out)
+        timings[segments] = time.perf_counter() - start
+    lines = ["PERF1 — extractor scaling", ""]
+    for segments, elapsed in timings.items():
+        ops = segments * 4 * 2
+        lines.append(
+            f"segments={segments:>5d} ops={ops:>7d} "
+            f"time={elapsed:.3f}s rate={ops / elapsed:,.0f} rows/s"
+        )
+    save_and_print(output_dir, "perf_extractor.txt", "\n".join(lines))
+    # 16x more operations should cost well under 64x the time.
+    assert timings[4000] < timings[250] * 64

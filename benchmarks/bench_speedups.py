@@ -1,0 +1,60 @@
+"""EXT2 — simulated end-to-end speedups from fixing the diagnosed issues.
+
+The paper reports that the issues ION diagnoses are worth fixing: for
+E2E, "disabling this behavior [rank-0 fill values] created a 10x
+speedup", and the OpenPMD HDF5 fix removed "a significant performance
+issue".  Because our substrate is a cost-modeled simulator, the
+baseline/optimized trace pairs come with simulated wall-clock times —
+so the *payoff* of each fix is measurable, not just the diagnosis.
+"""
+
+from __future__ import annotations
+
+from conftest import save_and_print
+
+from repro.evaluation import generate_bundle
+
+
+def run_speedups():
+    results = {}
+    for pair in ("e2e", "openpmd"):
+        baseline = generate_bundle(f"{pair}-baseline")
+        optimized = generate_bundle(f"{pair}-optimized")
+        results[pair] = {
+            "baseline": baseline.log.job.run_time,
+            "optimized": optimized.log.job.run_time,
+            "speedup": baseline.log.job.run_time / optimized.log.job.run_time,
+        }
+    return results
+
+
+def _render(results) -> str:
+    lines = [
+        "=" * 70,
+        "EXT2 — simulated speedup of the paper's documented fixes",
+        "=" * 70,
+        f"{'application':<12s} {'baseline':>10s} {'optimized':>10s} {'speedup':>9s}",
+    ]
+    for pair, values in results.items():
+        lines.append(
+            f"{pair:<12s} {values['baseline']:>9.3f}s "
+            f"{values['optimized']:>9.3f}s {values['speedup']:>8.2f}x"
+        )
+    lines.append("")
+    lines.append(
+        "Shape: both documented fixes pay off in simulated wall-clock.\n"
+        "The paper reports ~10x for the E2E fill-value fix at 1024 ranks;\n"
+        "the simulated ratio grows with rank count (the pre-fill is\n"
+        "serialized on rank 0) and sits at the same order of magnitude at\n"
+        "bench scale."
+    )
+    return "\n".join(lines)
+
+
+def test_fix_speedups(benchmark, output_dir):
+    results = benchmark.pedantic(run_speedups, rounds=1, iterations=1)
+    save_and_print(output_dir, "ext_speedups.txt", _render(results))
+    # E2E: removing the rank-0 pre-fill is a multiple-x win (paper: ~10x).
+    assert results["e2e"]["speedup"] > 3.0
+    # OpenPMD: restoring collectives beats the shattered independent ops.
+    assert results["openpmd"]["speedup"] > 2.0

@@ -1,0 +1,24 @@
+"""Benchmark fixtures: output directory and shared trace bundles."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def save_and_print(output_dir: Path, name: str, text: str) -> None:
+    """Persist a regenerated table and echo it to the terminal."""
+    path = output_dir / name
+    path.write_text(text)
+    print()
+    print(text)
+    print(f"[written to {path}]")

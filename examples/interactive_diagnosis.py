@@ -1,0 +1,72 @@
+"""Interactive diagnosis session over any registered workload.
+
+Generates a trace, runs the ION diagnosis, then drops into the paper's
+interactive Q&A loop: type questions about the analysis, get answers
+grounded in the measured evidence. Type 'quit' to exit.
+
+Usage::
+
+    python examples/interactive_diagnosis.py [workload] [--scale 0.02]
+    # e.g.
+    python examples/interactive_diagnosis.py e2e-baseline --scale 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.ion import IoNavigator, render_report
+from repro.workloads import make_workload, workload_names
+
+SUGGESTED_QUESTIONS = (
+    "which file has the most small writes?",
+    "how many misaligned operations are there?",
+    "is the load balanced across ranks?",
+    "can the small requests be aggregated?",
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "workload",
+        nargs="?",
+        default="ior-rnd4k",
+        choices=workload_names(),
+        help="registered workload to generate and diagnose",
+    )
+    parser.add_argument("--scale", type=float, default=0.02)
+    args = parser.parse_args()
+
+    print(f"generating {args.workload} at scale {args.scale} ...")
+    bundle = make_workload(args.workload).run(scale=args.scale)
+    print("diagnosing ...")
+    result = IoNavigator().diagnose(bundle.log, bundle.name)
+    print(render_report(result.report))
+
+    print("Ask about the diagnosis (blank or 'quit' to exit). Suggestions:")
+    for question in SUGGESTED_QUESTIONS:
+        print(f"  - {question}")
+    print()
+    interactive = sys.stdin.isatty()
+    if not interactive:
+        # Non-interactive runs (CI, piped) exercise the suggestions.
+        for question in SUGGESTED_QUESTIONS:
+            print(f"Q: {question}")
+            print(f"A: {result.session.ask(question)}")
+            print()
+        return
+    while True:
+        try:
+            question = input("Q: ").strip()
+        except EOFError:
+            break
+        if not question or question.lower() in ("quit", "exit"):
+            break
+        print(f"A: {result.session.ask(question)}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,317 @@
+"""Binary on-disk format for Darshan logs.
+
+The real Darshan log is a sequence of zlib-compressed regions behind a
+small header; this module implements the same shape.  A file is:
+
+``magic | version string | section count | sections...``
+
+where each section is ``name | compressed length | CRC32 | zlib payload``
+and the payload is fixed-width struct packing (no JSON for record data),
+so the reader is a genuine binary parser with integrity checking.
+
+Use :func:`write_log` / :func:`read_log`; everything else is framing.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+import zlib
+from pathlib import Path
+
+from repro.darshan.counters import counters_for, fcounters_for, known_modules
+from repro.darshan.log import DarshanLog
+from repro.darshan.records import DxtSegment, JobRecord, ModuleRecord, NameRecord
+from repro.util.errors import DarshanFormatError
+
+MAGIC = b"DSHNRPRO"
+
+_DXT_MODULES = ("X_POSIX", "X_MPIIO")
+_DXT_OPS = ("read", "write")
+
+
+# -- low-level packing -------------------------------------------------
+
+
+def _pack_str(buffer: io.BytesIO, text: str) -> None:
+    data = text.encode("utf-8")
+    if len(data) > 0xFFFF:
+        raise DarshanFormatError(f"string too long to serialize ({len(data)} bytes)")
+    buffer.write(struct.pack("<H", len(data)))
+    buffer.write(data)
+
+
+class _Reader:
+    """Cursor over one decompressed section payload."""
+
+    def __init__(self, data: bytes, section: str) -> None:
+        self._data = data
+        self._pos = 0
+        self._section = section
+
+    def take(self, count: int) -> bytes:
+        if self._pos + count > len(self._data):
+            raise DarshanFormatError(
+                f"section {self._section!r} truncated at byte {self._pos}"
+            )
+        chunk = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return chunk
+
+    def unpack(self, fmt: str) -> tuple:
+        return struct.unpack(fmt, self.take(struct.calcsize(fmt)))
+
+    def read_str(self) -> str:
+        (length,) = self.unpack("<H")
+        return self.take(length).decode("utf-8")
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos == len(self._data)
+
+
+# -- section encoders ---------------------------------------------------
+
+
+def _encode_job(job: JobRecord, version: str) -> bytes:
+    payload = {
+        "version": version,
+        "job_id": job.job_id,
+        "uid": job.uid,
+        "nprocs": job.nprocs,
+        "start_time": job.start_time,
+        "end_time": job.end_time,
+        "executable": job.executable,
+        "metadata": job.metadata,
+    }
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def _decode_job(data: bytes) -> tuple[JobRecord, str]:
+    try:
+        payload = json.loads(data.decode("utf-8"))
+        job = JobRecord(
+            job_id=int(payload["job_id"]),
+            uid=int(payload["uid"]),
+            nprocs=int(payload["nprocs"]),
+            start_time=float(payload["start_time"]),
+            end_time=float(payload["end_time"]),
+            executable=str(payload.get("executable", "unknown")),
+            metadata=dict(payload.get("metadata", {})),
+        )
+        return job, str(payload["version"])
+    except (KeyError, ValueError, json.JSONDecodeError) as exc:
+        raise DarshanFormatError(f"corrupt job section: {exc}") from exc
+
+
+def _encode_names(names: dict[int, NameRecord]) -> bytes:
+    buffer = io.BytesIO()
+    buffer.write(struct.pack("<I", len(names)))
+    for record_id in sorted(names):
+        record = names[record_id]
+        buffer.write(struct.pack("<Q", record.record_id))
+        _pack_str(buffer, record.path)
+        _pack_str(buffer, record.mount_point)
+        _pack_str(buffer, record.fs_type)
+    return buffer.getvalue()
+
+
+def _decode_names(data: bytes) -> dict[int, NameRecord]:
+    reader = _Reader(data, "names")
+    (count,) = reader.unpack("<I")
+    names: dict[int, NameRecord] = {}
+    for _ in range(count):
+        (record_id,) = reader.unpack("<Q")
+        path = reader.read_str()
+        mount = reader.read_str()
+        fs_type = reader.read_str()
+        names[record_id] = NameRecord(record_id, path, mount, fs_type)
+    return names
+
+
+def _encode_module(module: str, records: list[ModuleRecord]) -> bytes:
+    counter_names = counters_for(module)
+    fcounter_names = fcounters_for(module)
+    buffer = io.BytesIO()
+    buffer.write(
+        struct.pack("<III", len(records), len(counter_names), len(fcounter_names))
+    )
+    for record in records:
+        buffer.write(struct.pack("<Qq", record.record_id, record.rank))
+        values = [record.counters[name] for name in counter_names]
+        buffer.write(struct.pack(f"<{len(values)}q", *values))
+        fvalues = [record.fcounters[name] for name in fcounter_names]
+        if fvalues:
+            buffer.write(struct.pack(f"<{len(fvalues)}d", *fvalues))
+    return buffer.getvalue()
+
+
+def _decode_module(module: str, data: bytes) -> list[ModuleRecord]:
+    counter_names = counters_for(module)
+    fcounter_names = fcounters_for(module)
+    reader = _Reader(data, f"mod:{module}")
+    count, n_counters, n_fcounters = reader.unpack("<III")
+    if n_counters != len(counter_names) or n_fcounters != len(fcounter_names):
+        raise DarshanFormatError(
+            f"module {module} was written with {n_counters}/{n_fcounters} "
+            f"counters but this build registers "
+            f"{len(counter_names)}/{len(fcounter_names)}"
+        )
+    records = []
+    for _ in range(count):
+        record_id, rank = reader.unpack("<Qq")
+        values = reader.unpack(f"<{n_counters}q")
+        fvalues = reader.unpack(f"<{n_fcounters}d") if n_fcounters else ()
+        records.append(
+            ModuleRecord(
+                module=module,
+                record_id=record_id,
+                rank=rank,
+                counters=dict(zip(counter_names, values)),
+                fcounters=dict(zip(fcounter_names, fvalues)),
+            )
+        )
+    return records
+
+
+def _encode_dxt(segments: list[DxtSegment]) -> bytes:
+    buffer = io.BytesIO()
+    buffer.write(struct.pack("<I", len(segments)))
+    for seg in segments:
+        buffer.write(
+            struct.pack(
+                "<BBqQQQdd",
+                _DXT_MODULES.index(seg.module),
+                _DXT_OPS.index(seg.operation),
+                seg.rank,
+                seg.record_id,
+                seg.offset,
+                seg.length,
+                seg.start_time,
+                seg.end_time,
+            )
+        )
+        _pack_str(buffer, seg.hostname)
+    return buffer.getvalue()
+
+
+def _decode_dxt(data: bytes) -> list[DxtSegment]:
+    reader = _Reader(data, "dxt")
+    (count,) = reader.unpack("<I")
+    segments = []
+    for _ in range(count):
+        module_idx, op_idx, rank, record_id, offset, length, start, end = (
+            reader.unpack("<BBqQQQdd")
+        )
+        hostname = reader.read_str()
+        try:
+            module = _DXT_MODULES[module_idx]
+            operation = _DXT_OPS[op_idx]
+        except IndexError:
+            raise DarshanFormatError(
+                f"bad DXT module/op code {module_idx}/{op_idx}"
+            ) from None
+        segments.append(
+            DxtSegment(
+                module=module,
+                record_id=record_id,
+                rank=rank,
+                operation=operation,
+                offset=offset,
+                length=length,
+                start_time=start,
+                end_time=end,
+                hostname=hostname,
+            )
+        )
+    return segments
+
+
+# -- file framing -------------------------------------------------------
+
+
+def _write_section(handle, name: str, payload: bytes) -> None:
+    compressed = zlib.compress(payload, level=6)
+    name_bytes = name.encode("utf-8")
+    handle.write(struct.pack("<H", len(name_bytes)))
+    handle.write(name_bytes)
+    handle.write(struct.pack("<QI", len(compressed), zlib.crc32(compressed)))
+    handle.write(compressed)
+
+
+def _read_exact(handle, count: int) -> bytes:
+    data = handle.read(count)
+    if len(data) != count:
+        raise DarshanFormatError(
+            f"log truncated: wanted {count} bytes, got {len(data)}"
+        )
+    return data
+
+
+def _read_section(handle) -> tuple[str, bytes]:
+    (name_len,) = struct.unpack("<H", _read_exact(handle, 2))
+    name = _read_exact(handle, name_len).decode("utf-8")
+    length, crc = struct.unpack("<QI", _read_exact(handle, 12))
+    compressed = _read_exact(handle, length)
+    if zlib.crc32(compressed) != crc:
+        raise DarshanFormatError(f"section {name!r} failed its CRC check")
+    try:
+        return name, zlib.decompress(compressed)
+    except zlib.error as exc:
+        raise DarshanFormatError(f"section {name!r} failed to inflate: {exc}") from exc
+
+
+def write_log(log: DarshanLog, path: str | Path) -> Path:
+    """Serialize ``log`` to ``path`` and return the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    sections: list[tuple[str, bytes]] = [
+        ("job", _encode_job(log.job, log.version)),
+        ("names", _encode_names(log.name_records)),
+    ]
+    for module in known_modules():
+        records = log.records.get(module)
+        if records:
+            sections.append((f"mod:{module}", _encode_module(module, records)))
+    if log.dxt_segments:
+        sections.append(("dxt", _encode_dxt(log.dxt_segments)))
+    with path.open("wb") as handle:
+        handle.write(MAGIC)
+        handle.write(struct.pack("<I", len(sections)))
+        for name, payload in sections:
+            _write_section(handle, name, payload)
+    return path
+
+
+def read_log(path: str | Path) -> DarshanLog:
+    """Parse a binary log from ``path``.
+
+    Raises :class:`~repro.util.errors.DarshanFormatError` on a bad
+    magic number, CRC mismatch, truncation, or counter-set skew.
+    """
+    path = Path(path)
+    with path.open("rb") as handle:
+        magic = handle.read(len(MAGIC))
+        if magic != MAGIC:
+            raise DarshanFormatError(
+                f"{path} is not a Darshan log (magic {magic!r})"
+            )
+        (section_count,) = struct.unpack("<I", _read_exact(handle, 4))
+        sections = dict(_read_section(handle) for _ in range(section_count))
+    if "job" not in sections or "names" not in sections:
+        raise DarshanFormatError(f"{path} is missing its job or name section")
+    job, version = _decode_job(sections["job"])
+    log = DarshanLog(job=job, version=version)
+    for record in _decode_names(sections["names"]).values():
+        log.add_name(record)
+    for module in known_modules():
+        payload = sections.get(f"mod:{module}")
+        if payload is None:
+            continue
+        for record in _decode_module(module, payload):
+            log.add_record(record)
+    if "dxt" in sections:
+        for segment in _decode_dxt(sections["dxt"]):
+            log.add_dxt(segment)
+    return log

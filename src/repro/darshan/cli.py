@@ -1,0 +1,74 @@
+"""``darshan-summary`` command line: parse and summarize a binary trace.
+
+Three output modes mirror the real Darshan tool family::
+
+    darshan-summary TRACE.darshan              # job summary report
+    darshan-summary TRACE.darshan --parser     # darshan-parser text dump
+    darshan-summary TRACE.darshan --dxt        # darshan-dxt-parser dump
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.darshan.binformat import read_log
+from repro.darshan.dxt import render_dxt
+from repro.darshan.parser import render_log
+from repro.darshan.heatmap import render_heatmap
+from repro.darshan.summary import render_summary
+from repro.util.console import suppress_broken_pipe
+from repro.util.errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="darshan-summary",
+        description="Summarize or dump a (reproduction) Darshan trace.",
+    )
+    parser.add_argument("trace", help="path to a binary Darshan log")
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--parser", action="store_true",
+        help="emit the darshan-parser text dump instead of the summary",
+    )
+    mode.add_argument(
+        "--dxt", action="store_true",
+        help="emit the darshan-dxt-parser dump instead of the summary",
+    )
+    mode.add_argument(
+        "--heatmap", action="store_true",
+        help="render an ASCII rank/time I/O heatmap (requires DXT data)",
+    )
+    parser.add_argument(
+        "--top-files", type=int, default=5,
+        help="number of files in the busiest-files table (default 5)",
+    )
+    return parser
+
+
+@suppress_broken_pipe
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        log = read_log(args.trace)
+    except (ReproError, OSError) as exc:
+        print(f"darshan-summary: error: {exc}", file=sys.stderr)
+        return 1
+    if args.parser:
+        print(render_log(log))
+    elif args.dxt:
+        print(render_dxt(log))
+    elif args.heatmap:
+        try:
+            print(render_heatmap(log))
+        except ReproError as exc:
+            print(f"darshan-summary: error: {exc}", file=sys.stderr)
+            return 1
+    else:
+        print(render_summary(log, top_files=args.top_files))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

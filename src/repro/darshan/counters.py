@@ -1,0 +1,234 @@
+"""Counter registries for each Darshan module.
+
+A Darshan log stores, per (file, rank), a fixed-order array of integer
+counters and one of floating-point counters.  The binary format, the
+text parser, and the instrumentation runtime all need to agree on that
+order, so it is defined once here.
+
+The names and semantics mirror the real Darshan 3.x counter sets for the
+POSIX, MPI-IO, STDIO and Lustre modules (the subset ION's analysis
+actually consumes, which is the large majority of them).
+"""
+
+from __future__ import annotations
+
+from repro.util.stats import SIZE_BIN_LABELS
+
+POSIX_MODULE = "POSIX"
+MPIIO_MODULE = "MPI-IO"
+STDIO_MODULE = "STDIO"
+LUSTRE_MODULE = "LUSTRE"
+HEATMAP_MODULE = "HEATMAP"
+
+#: Number of Lustre OST id slots stored per Lustre record.  Real Darshan
+#: stores one per stripe; we cap the list like Darshan caps its record
+#: size and record the true width in LUSTRE_STRIPE_WIDTH.
+LUSTRE_MAX_OSTS = 32
+
+#: Number of "most common access size" slots (Darshan keeps four).
+COMMON_ACCESS_SLOTS = 4
+
+
+def _size_counter_names(prefix: str, direction: str) -> list[str]:
+    return [f"{prefix}_SIZE_{direction}_{label}" for label in SIZE_BIN_LABELS]
+
+
+def _common_access_names(prefix: str) -> list[str]:
+    names = []
+    for slot in range(1, COMMON_ACCESS_SLOTS + 1):
+        names.append(f"{prefix}_ACCESS{slot}_ACCESS")
+    for slot in range(1, COMMON_ACCESS_SLOTS + 1):
+        names.append(f"{prefix}_ACCESS{slot}_COUNT")
+    return names
+
+
+POSIX_COUNTERS: tuple[str, ...] = tuple(
+    [
+        "POSIX_OPENS",
+        "POSIX_READS",
+        "POSIX_WRITES",
+        "POSIX_SEEKS",
+        "POSIX_STATS",
+        "POSIX_FSYNCS",
+        "POSIX_RENAMES",
+        "POSIX_MODE",
+        "POSIX_BYTES_READ",
+        "POSIX_BYTES_WRITTEN",
+        "POSIX_MAX_BYTE_READ",
+        "POSIX_MAX_BYTE_WRITTEN",
+        "POSIX_CONSEC_READS",
+        "POSIX_CONSEC_WRITES",
+        "POSIX_SEQ_READS",
+        "POSIX_SEQ_WRITES",
+        "POSIX_RW_SWITCHES",
+        "POSIX_MEM_ALIGNMENT",
+        "POSIX_FILE_ALIGNMENT",
+        "POSIX_MEM_NOT_ALIGNED",
+        "POSIX_FILE_NOT_ALIGNED",
+    ]
+    + _size_counter_names("POSIX", "READ")
+    + _size_counter_names("POSIX", "WRITE")
+    + _common_access_names("POSIX")
+    + [
+        "POSIX_FASTEST_RANK",
+        "POSIX_FASTEST_RANK_BYTES",
+        "POSIX_SLOWEST_RANK",
+        "POSIX_SLOWEST_RANK_BYTES",
+    ]
+)
+
+POSIX_F_COUNTERS: tuple[str, ...] = (
+    "POSIX_F_OPEN_START_TIMESTAMP",
+    "POSIX_F_READ_START_TIMESTAMP",
+    "POSIX_F_WRITE_START_TIMESTAMP",
+    "POSIX_F_CLOSE_START_TIMESTAMP",
+    "POSIX_F_OPEN_END_TIMESTAMP",
+    "POSIX_F_READ_END_TIMESTAMP",
+    "POSIX_F_WRITE_END_TIMESTAMP",
+    "POSIX_F_CLOSE_END_TIMESTAMP",
+    "POSIX_F_READ_TIME",
+    "POSIX_F_WRITE_TIME",
+    "POSIX_F_META_TIME",
+    "POSIX_F_MAX_READ_TIME",
+    "POSIX_F_MAX_WRITE_TIME",
+    "POSIX_F_FASTEST_RANK_TIME",
+    "POSIX_F_SLOWEST_RANK_TIME",
+    "POSIX_F_VARIANCE_RANK_TIME",
+    "POSIX_F_VARIANCE_RANK_BYTES",
+)
+
+MPIIO_COUNTERS: tuple[str, ...] = tuple(
+    [
+        "MPIIO_INDEP_OPENS",
+        "MPIIO_COLL_OPENS",
+        "MPIIO_INDEP_READS",
+        "MPIIO_INDEP_WRITES",
+        "MPIIO_COLL_READS",
+        "MPIIO_COLL_WRITES",
+        "MPIIO_SPLIT_READS",
+        "MPIIO_SPLIT_WRITES",
+        "MPIIO_NB_READS",
+        "MPIIO_NB_WRITES",
+        "MPIIO_SYNCS",
+        "MPIIO_HINTS",
+        "MPIIO_VIEWS",
+        "MPIIO_MODE",
+        "MPIIO_BYTES_READ",
+        "MPIIO_BYTES_WRITTEN",
+        "MPIIO_RW_SWITCHES",
+    ]
+    + _size_counter_names("MPIIO", "READ_AGG")
+    + _size_counter_names("MPIIO", "WRITE_AGG")
+    + _common_access_names("MPIIO")
+    + [
+        "MPIIO_FASTEST_RANK",
+        "MPIIO_FASTEST_RANK_BYTES",
+        "MPIIO_SLOWEST_RANK",
+        "MPIIO_SLOWEST_RANK_BYTES",
+    ]
+)
+
+MPIIO_F_COUNTERS: tuple[str, ...] = (
+    "MPIIO_F_OPEN_START_TIMESTAMP",
+    "MPIIO_F_READ_START_TIMESTAMP",
+    "MPIIO_F_WRITE_START_TIMESTAMP",
+    "MPIIO_F_CLOSE_START_TIMESTAMP",
+    "MPIIO_F_OPEN_END_TIMESTAMP",
+    "MPIIO_F_READ_END_TIMESTAMP",
+    "MPIIO_F_WRITE_END_TIMESTAMP",
+    "MPIIO_F_CLOSE_END_TIMESTAMP",
+    "MPIIO_F_READ_TIME",
+    "MPIIO_F_WRITE_TIME",
+    "MPIIO_F_META_TIME",
+    "MPIIO_F_MAX_READ_TIME",
+    "MPIIO_F_MAX_WRITE_TIME",
+    "MPIIO_F_FASTEST_RANK_TIME",
+    "MPIIO_F_SLOWEST_RANK_TIME",
+    "MPIIO_F_VARIANCE_RANK_TIME",
+    "MPIIO_F_VARIANCE_RANK_BYTES",
+)
+
+STDIO_COUNTERS: tuple[str, ...] = (
+    "STDIO_OPENS",
+    "STDIO_READS",
+    "STDIO_WRITES",
+    "STDIO_SEEKS",
+    "STDIO_FLUSHES",
+    "STDIO_BYTES_READ",
+    "STDIO_BYTES_WRITTEN",
+    "STDIO_MAX_BYTE_READ",
+    "STDIO_MAX_BYTE_WRITTEN",
+    "STDIO_FASTEST_RANK",
+    "STDIO_FASTEST_RANK_BYTES",
+    "STDIO_SLOWEST_RANK",
+    "STDIO_SLOWEST_RANK_BYTES",
+)
+
+STDIO_F_COUNTERS: tuple[str, ...] = (
+    "STDIO_F_OPEN_START_TIMESTAMP",
+    "STDIO_F_CLOSE_START_TIMESTAMP",
+    "STDIO_F_READ_TIME",
+    "STDIO_F_WRITE_TIME",
+    "STDIO_F_META_TIME",
+    "STDIO_F_FASTEST_RANK_TIME",
+    "STDIO_F_SLOWEST_RANK_TIME",
+    "STDIO_F_VARIANCE_RANK_TIME",
+    "STDIO_F_VARIANCE_RANK_BYTES",
+)
+
+LUSTRE_COUNTERS: tuple[str, ...] = tuple(
+    [
+        "LUSTRE_OSTS",
+        "LUSTRE_MDTS",
+        "LUSTRE_STRIPE_OFFSET",
+        "LUSTRE_STRIPE_SIZE",
+        "LUSTRE_STRIPE_WIDTH",
+    ]
+    + [f"LUSTRE_OST_ID_{slot}" for slot in range(LUSTRE_MAX_OSTS)]
+)
+
+LUSTRE_F_COUNTERS: tuple[str, ...] = ()
+
+#: Ordered registry used by the binary format and the parser.
+MODULE_COUNTERS: dict[str, tuple[str, ...]] = {
+    POSIX_MODULE: POSIX_COUNTERS,
+    MPIIO_MODULE: MPIIO_COUNTERS,
+    STDIO_MODULE: STDIO_COUNTERS,
+    LUSTRE_MODULE: LUSTRE_COUNTERS,
+}
+
+MODULE_F_COUNTERS: dict[str, tuple[str, ...]] = {
+    POSIX_MODULE: POSIX_F_COUNTERS,
+    MPIIO_MODULE: MPIIO_F_COUNTERS,
+    STDIO_MODULE: STDIO_F_COUNTERS,
+    LUSTRE_MODULE: LUSTRE_F_COUNTERS,
+}
+
+#: Stable order in which modules are serialized and parsed.
+MODULE_ORDER: tuple[str, ...] = (
+    POSIX_MODULE,
+    MPIIO_MODULE,
+    STDIO_MODULE,
+    LUSTRE_MODULE,
+)
+
+
+def known_modules() -> tuple[str, ...]:
+    """Return every module name this Darshan implementation understands."""
+    return MODULE_ORDER
+
+
+def counters_for(module: str) -> tuple[str, ...]:
+    """Return the ordered integer-counter names for ``module``."""
+    try:
+        return MODULE_COUNTERS[module]
+    except KeyError:
+        raise KeyError(f"unknown Darshan module {module!r}") from None
+
+
+def fcounters_for(module: str) -> tuple[str, ...]:
+    """Return the ordered float-counter names for ``module``."""
+    try:
+        return MODULE_F_COUNTERS[module]
+    except KeyError:
+        raise KeyError(f"unknown Darshan module {module!r}") from None

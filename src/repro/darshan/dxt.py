@@ -1,0 +1,88 @@
+"""``darshan-dxt-parser`` equivalent: render and re-parse DXT traces.
+
+The DXT text format groups segments by (module, file, rank) and prints
+one line per operation:
+
+``<module> <rank> <op> <segment> <offset> <length> <start> <end>``
+"""
+
+from __future__ import annotations
+
+import io
+from collections import defaultdict
+from pathlib import Path
+
+from repro.darshan.binformat import read_log
+from repro.darshan.log import DarshanLog
+from repro.darshan.records import DxtSegment
+
+
+def render_dxt(log: DarshanLog) -> str:
+    """Render a DXT text dump for every traced file/rank pair."""
+    out = io.StringIO()
+    out.write("# darshan DXT log (repro)\n")
+    grouped: dict[tuple[str, int, int], list[DxtSegment]] = defaultdict(list)
+    for segment in log.dxt_segments:
+        grouped[(segment.module, segment.record_id, segment.rank)].append(segment)
+    for (module, record_id, rank) in sorted(grouped):
+        name = log.name_records[record_id]
+        segments = grouped[(module, record_id, rank)]
+        out.write(f"\n# {module}\n")
+        out.write(f"# record_id: {record_id}\n")
+        out.write(f"# file_name: {name.path}\n")
+        out.write(f"# rank: {rank}\n")
+        out.write(f"# hostname: {segments[0].hostname}\n")
+        out.write(
+            "# Module\tRank\tWt/Rd\tSegment\tOffset\tLength\t"
+            "Start(s)\tEnd(s)\n"
+        )
+        for index, seg in enumerate(segments):
+            out.write(
+                f"{module}\t{rank}\t{seg.operation}\t{index}\t{seg.offset}\t"
+                f"{seg.length}\t{seg.start_time:.6f}\t{seg.end_time:.6f}\n"
+            )
+    return out.getvalue()
+
+
+def parse_dxt_file(path: str | Path) -> str:
+    """Read a binary log and return its DXT text dump."""
+    return render_dxt(read_log(path))
+
+
+def parse_dxt_dump(text: str) -> list[dict[str, object]]:
+    """Parse a DXT text dump back into flat row dicts.
+
+    Each row carries ``module``, ``rank``, ``operation``, ``segment``,
+    ``offset``, ``length``, ``start``, ``end``, ``record_id``, ``file``.
+    """
+    rows: list[dict[str, object]] = []
+    record_id = 0
+    file_name = ""
+    for line in text.splitlines():
+        if line.startswith("# record_id:"):
+            record_id = int(line.split(":", 1)[1].strip())
+            continue
+        if line.startswith("# file_name:"):
+            file_name = line.split(":", 1)[1].strip()
+            continue
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("\t")
+        if len(fields) != 8:
+            continue
+        module, rank, op, segment, offset, length, start, end = fields
+        rows.append(
+            {
+                "module": module,
+                "rank": int(rank),
+                "operation": op,
+                "segment": int(segment),
+                "offset": int(offset),
+                "length": int(length),
+                "start": float(start),
+                "end": float(end),
+                "record_id": record_id,
+                "file": file_name,
+            }
+        )
+    return rows

@@ -1,0 +1,106 @@
+"""``darshan-parser`` equivalent: render a log as the classic text dump.
+
+ION's extractor shells out to ``darshan-parser`` in the paper; here the
+same text format is produced from a :class:`DarshanLog`, so downstream
+code (and humans) can consume the familiar
+
+``<module> <rank> <record id> <counter> <value> <file name> <mount pt> <fs type>``
+
+line format, preceded by the job header block.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.darshan.binformat import read_log
+from repro.darshan.log import DarshanLog
+
+
+def render_header(log: DarshanLog) -> str:
+    """Render the ``# darshan log version`` header block."""
+    job = log.job
+    lines = [
+        f"# darshan log version: {log.version}",
+        f"# exe: {job.executable}",
+        f"# uid: {job.uid}",
+        f"# jobid: {job.job_id}",
+        f"# start_time: {job.start_time:.6f}",
+        f"# end_time: {job.end_time:.6f}",
+        f"# run time: {job.run_time:.6f}",
+        f"# nprocs: {job.nprocs}",
+    ]
+    for key in sorted(job.metadata):
+        lines.append(f"# metadata: {key} = {job.metadata[key]}")
+    return "\n".join(lines)
+
+
+def render_module(log: DarshanLog, module: str) -> str:
+    """Render one module's records as parser lines."""
+    out = io.StringIO()
+    out.write(f"# {module} module data\n")
+    out.write(
+        "#<module>\t<rank>\t<record id>\t<counter>\t<value>"
+        "\t<file name>\t<mount pt>\t<fs type>\n"
+    )
+    for record in log.records.get(module, []):
+        name = log.name_records[record.record_id]
+        prefix = (
+            f"{module}\t{record.rank}\t{record.record_id}"
+        )
+        suffix = f"{name.path}\t{name.mount_point}\t{name.fs_type}"
+        for counter, value in record.counters.items():
+            out.write(f"{prefix}\t{counter}\t{value}\t{suffix}\n")
+        for counter, value in record.fcounters.items():
+            out.write(f"{prefix}\t{counter}\t{value:.6f}\t{suffix}\n")
+    return out.getvalue().rstrip("\n")
+
+
+def render_log(log: DarshanLog) -> str:
+    """Render the full text dump (header + every module)."""
+    parts = [render_header(log)]
+    for module in log.modules:
+        parts.append(render_module(log, module))
+    return "\n\n".join(parts) + "\n"
+
+
+def parse_file(path: str | Path) -> str:
+    """Read a binary log and return its text dump — the CLI entrypoint."""
+    return render_log(read_log(path))
+
+
+def parse_text_dump(text: str) -> dict[str, list[dict[str, object]]]:
+    """Parse a text dump back into per-module row dicts.
+
+    This is the inverse direction the ION extractor needs: it consumes
+    parser *output*.  Returns ``{module: [row, ...]}`` where each row
+    carries ``rank``, ``record_id``, ``file``, and one key per counter.
+    """
+    per_record: dict[tuple[str, int, int], dict[str, object]] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("\t")
+        if len(fields) != 8:
+            continue
+        module, rank, record_id, counter, value, file_name, mount, fs = fields
+        key = (module, int(rank), int(record_id))
+        row = per_record.setdefault(
+            key,
+            {
+                "module": module,
+                "rank": int(rank),
+                "record_id": int(record_id),
+                "file": file_name,
+                "mount": mount,
+                "fs": fs,
+            },
+        )
+        row[counter] = float(value) if "." in value else int(value)
+    grouped: dict[str, list[dict[str, object]]] = {}
+    for (module, _, _), row in sorted(
+        per_record.items(), key=lambda item: (item[0][0], item[0][2], item[0][1])
+    ):
+        grouped.setdefault(module, []).append(row)
+    return grouped

@@ -1,0 +1,114 @@
+"""Record models stored inside a Darshan log.
+
+A log holds one :class:`JobRecord`, a name table mapping 64-bit record
+ids to file paths, per-module :class:`ModuleRecord` arrays (one per
+(file, rank) pair that touched the module), and — when extended tracing
+was enabled — a flat list of :class:`DxtSegment` rows, one per POSIX or
+MPI-IO read/write operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.darshan.counters import counters_for, fcounters_for
+
+#: Rank value Darshan uses for records reduced across all ranks of a
+#: shared file.  We keep per-rank records by default but the reduction
+#: helper in :mod:`repro.darshan.log` produces records with this rank.
+SHARED_RANK = -1
+
+
+@dataclass
+class JobRecord:
+    """Job-level header stored once per log."""
+
+    job_id: int
+    uid: int
+    nprocs: int
+    start_time: float
+    end_time: float
+    executable: str = "unknown"
+    metadata: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def run_time(self) -> float:
+        """Wall-clock duration of the job in seconds."""
+        return max(0.0, self.end_time - self.start_time)
+
+
+@dataclass
+class NameRecord:
+    """Mapping from a 64-bit record id to the file path it names."""
+
+    record_id: int
+    path: str
+    mount_point: str = "/lustre"
+    fs_type: str = "lustre"
+
+
+@dataclass
+class ModuleRecord:
+    """One Darshan record: counters for a (module, file, rank) triple."""
+
+    module: str
+    record_id: int
+    rank: int
+    counters: dict[str, int] = field(default_factory=dict)
+    fcounters: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        known = counters_for(self.module)
+        fknown = fcounters_for(self.module)
+        for name in self.counters:
+            if name not in known:
+                raise KeyError(f"{name!r} is not a {self.module} counter")
+        for name in self.fcounters:
+            if name not in fknown:
+                raise KeyError(f"{name!r} is not a {self.module} fcounter")
+        # Normalize to the full counter set so downstream consumers can
+        # index any registered counter without .get() chains.
+        self.counters = {name: self.counters.get(name, 0) for name in known}
+        self.fcounters = {name: self.fcounters.get(name, 0.0) for name in fknown}
+
+    def get(self, counter: str) -> int | float:
+        """Look up an integer or float counter by name."""
+        if counter in self.counters:
+            return self.counters[counter]
+        if counter in self.fcounters:
+            return self.fcounters[counter]
+        raise KeyError(f"{counter!r} is not a {self.module} counter")
+
+
+@dataclass(frozen=True, slots=True)
+class DxtSegment:
+    """One traced I/O operation from the DXT module.
+
+    ``module`` is ``"X_POSIX"`` or ``"X_MPIIO"`` (matching darshan-dxt-parser
+    naming), ``operation`` is ``"read"`` or ``"write"``.
+    """
+
+    module: str
+    record_id: int
+    rank: int
+    operation: str
+    offset: int
+    length: int
+    start_time: float
+    end_time: float
+    hostname: str = "node0"
+
+    def __post_init__(self) -> None:
+        if self.operation not in ("read", "write"):
+            raise ValueError(f"bad DXT operation {self.operation!r}")
+        if self.module not in ("X_POSIX", "X_MPIIO"):
+            raise ValueError(f"bad DXT module {self.module!r}")
+        if self.length < 0 or self.offset < 0:
+            raise ValueError("DXT offset/length must be non-negative")
+        if self.end_time < self.start_time:
+            raise ValueError("DXT segment ends before it starts")
+
+    @property
+    def duration(self) -> float:
+        """Wall time of the operation in seconds."""
+        return self.end_time - self.start_time

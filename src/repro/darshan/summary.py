@@ -1,0 +1,215 @@
+"""``darshan-job-summary`` equivalent: a human-readable trace digest.
+
+Real Darshan ships a summary tool that turns a log into the report HPC
+consultants read first: job header, per-module operation/byte/time
+totals, access-size histograms, the busiest files, and per-rank load.
+ION's users see trace content only through diagnosis conclusions; this
+module gives them (and our examples/CLIs) the raw overview as well.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+from repro.darshan.log import DarshanLog
+from repro.darshan.records import SHARED_RANK
+from repro.util.stats import SIZE_BIN_LABELS
+from repro.util.units import format_count, format_percent, format_size
+
+
+@dataclass
+class ModuleTotals:
+    """Aggregate activity of one module."""
+
+    module: str
+    records: int = 0
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    read_time: float = 0.0
+    write_time: float = 0.0
+    meta_time: float = 0.0
+
+    @property
+    def ops(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def io_time(self) -> float:
+        return self.read_time + self.write_time + self.meta_time
+
+
+@dataclass
+class FileActivity:
+    """Aggregate activity on one file."""
+
+    path: str
+    ranks: set[int] = field(default_factory=set)
+    ops: int = 0
+    bytes_moved: int = 0
+
+
+@dataclass
+class TraceSummary:
+    """Everything the renderer needs, computed in one pass."""
+
+    log: DarshanLog
+    modules: dict[str, ModuleTotals] = field(default_factory=dict)
+    files: dict[int, FileActivity] = field(default_factory=dict)
+    rank_bytes: dict[int, int] = field(default_factory=dict)
+    read_histogram: list[int] = field(
+        default_factory=lambda: [0] * len(SIZE_BIN_LABELS)
+    )
+    write_histogram: list[int] = field(
+        default_factory=lambda: [0] * len(SIZE_BIN_LABELS)
+    )
+
+
+_PREFIXES = {"POSIX": "POSIX", "MPI-IO": "MPIIO", "STDIO": "STDIO"}
+
+
+def summarize(log: DarshanLog) -> TraceSummary:
+    """Aggregate a log into a :class:`TraceSummary`."""
+    summary = TraceSummary(log=log)
+    for module, prefix in _PREFIXES.items():
+        totals = ModuleTotals(module=module)
+        for record in log.records.get(module, []):
+            if record.rank == SHARED_RANK:
+                continue
+            counters = record.counters
+            totals.records += 1
+            if module == "MPI-IO":
+                reads = sum(
+                    counters[f"MPIIO_{kind}_READS"]
+                    for kind in ("INDEP", "COLL", "SPLIT", "NB")
+                )
+                writes = sum(
+                    counters[f"MPIIO_{kind}_WRITES"]
+                    for kind in ("INDEP", "COLL", "SPLIT", "NB")
+                )
+            else:
+                reads = counters[f"{prefix}_READS"]
+                writes = counters[f"{prefix}_WRITES"]
+            totals.reads += reads
+            totals.writes += writes
+            totals.bytes_read += counters[f"{prefix}_BYTES_READ"]
+            totals.bytes_written += counters[f"{prefix}_BYTES_WRITTEN"]
+            totals.read_time += record.fcounters[f"{prefix}_F_READ_TIME"]
+            totals.write_time += record.fcounters[f"{prefix}_F_WRITE_TIME"]
+            totals.meta_time += record.fcounters[f"{prefix}_F_META_TIME"]
+            moved = (
+                counters[f"{prefix}_BYTES_READ"]
+                + counters[f"{prefix}_BYTES_WRITTEN"]
+            )
+            activity = summary.files.setdefault(
+                record.record_id, FileActivity(path=log.path_for(record.record_id))
+            )
+            activity.ranks.add(record.rank)
+            activity.ops += reads + writes
+            activity.bytes_moved += moved
+            if module == "POSIX":
+                summary.rank_bytes[record.rank] = (
+                    summary.rank_bytes.get(record.rank, 0) + moved
+                )
+                for index, label in enumerate(SIZE_BIN_LABELS):
+                    summary.read_histogram[index] += counters[
+                        f"POSIX_SIZE_READ_{label}"
+                    ]
+                    summary.write_histogram[index] += counters[
+                        f"POSIX_SIZE_WRITE_{label}"
+                    ]
+        if totals.records:
+            summary.modules[module] = totals
+    return summary
+
+
+def _bar(value: int, peak: int, width: int = 32) -> str:
+    if peak == 0:
+        return ""
+    return "#" * max(1 if value else 0, round(value / peak * width))
+
+
+def render_summary(log: DarshanLog, top_files: int = 5) -> str:
+    """Render the job summary as terminal text."""
+    summary = summarize(log)
+    job = log.job
+    out = io.StringIO()
+    out.write("=" * 72 + "\n")
+    out.write(f"Darshan job summary — {job.executable}\n")
+    out.write("=" * 72 + "\n")
+    out.write(
+        f"job id {job.job_id}, uid {job.uid}, {job.nprocs} processes, "
+        f"run time {job.run_time:.3f}s\n"
+    )
+    for key in sorted(job.metadata):
+        out.write(f"  metadata: {key} = {job.metadata[key]}\n")
+    out.write("\n-- per-module activity --\n")
+    out.write(
+        f"{'module':<8s} {'records':>8s} {'reads':>10s} {'writes':>10s} "
+        f"{'read':>10s} {'written':>10s} {'io time':>9s}\n"
+    )
+    for module, totals in summary.modules.items():
+        out.write(
+            f"{module:<8s} {totals.records:>8d} "
+            f"{format_count(totals.reads):>10s} "
+            f"{format_count(totals.writes):>10s} "
+            f"{format_size(totals.bytes_read):>10s} "
+            f"{format_size(totals.bytes_written):>10s} "
+            f"{totals.io_time:>8.3f}s\n"
+        )
+    posix = summary.modules.get("POSIX")
+    if posix and posix.ops:
+        out.write("\n-- POSIX access sizes --\n")
+        peak = max(
+            max(summary.read_histogram), max(summary.write_histogram), 1
+        )
+        for index, label in enumerate(SIZE_BIN_LABELS):
+            reads = summary.read_histogram[index]
+            writes = summary.write_histogram[index]
+            if not reads and not writes:
+                continue
+            out.write(
+                f"  {label:<9s} R {format_count(reads):>9s} "
+                f"{_bar(reads, peak):<32s}\n"
+            )
+            out.write(
+                f"  {'':<9s} W {format_count(writes):>9s} "
+                f"{_bar(writes, peak):<32s}\n"
+            )
+    if summary.files:
+        out.write(f"\n-- busiest files (top {top_files}) --\n")
+        ranked = sorted(
+            summary.files.values(), key=lambda f: (-f.bytes_moved, f.path)
+        )
+        for activity in ranked[:top_files]:
+            out.write(
+                f"  {format_size(activity.bytes_moved):>10s} "
+                f"{format_count(activity.ops):>9s} ops "
+                f"{len(activity.ranks):>5d} rank(s)  {activity.path}\n"
+            )
+        if len(ranked) > top_files:
+            out.write(f"  ... and {len(ranked) - top_files} more files\n")
+    if summary.rank_bytes:
+        values = list(summary.rank_bytes.values())
+        peak_rank = max(summary.rank_bytes, key=lambda r: summary.rank_bytes[r])
+        mean = sum(values) / len(values)
+        out.write("\n-- per-rank data volume (POSIX) --\n")
+        out.write(
+            f"  mean {format_size(mean)}, "
+            f"max {format_size(max(values))} on rank {peak_rank}, "
+            f"min {format_size(min(values))}\n"
+        )
+        if max(values):
+            imbalance = (max(values) - mean) / max(values)
+            out.write(f"  imbalance (max-mean)/max: {format_percent(imbalance)}\n")
+    if log.has_dxt:
+        out.write(
+            f"\nDXT: {format_count(len(log.dxt_segments))} traced operations\n"
+        )
+    return out.getvalue()

@@ -1,0 +1,21 @@
+"""Drishti baseline: heuristic trigger-based Darshan trace analysis."""
+
+from repro.drishti.analyzer import DrishtiAnalyzer
+from repro.drishti.insights import DrishtiReport, Insight, Level
+from repro.drishti.report import render_insight, render_report
+from repro.drishti.thresholds import DEFAULT_THRESHOLDS, Thresholds
+from repro.drishti.triggers import JobView, all_triggers, build_view
+
+__all__ = [
+    "DEFAULT_THRESHOLDS",
+    "DrishtiAnalyzer",
+    "DrishtiReport",
+    "Insight",
+    "JobView",
+    "Level",
+    "Thresholds",
+    "all_triggers",
+    "build_view",
+    "render_insight",
+    "render_report",
+]

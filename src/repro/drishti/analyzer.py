@@ -1,0 +1,31 @@
+"""Drishti analyzer facade: log in, insight report out."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.darshan.binformat import read_log
+from repro.darshan.log import DarshanLog
+from repro.drishti.insights import DrishtiReport
+from repro.drishti.thresholds import DEFAULT_THRESHOLDS, Thresholds
+from repro.drishti.triggers import all_triggers, build_view
+
+
+class DrishtiAnalyzer:
+    """Runs the full trigger set over a Darshan log."""
+
+    def __init__(self, thresholds: Thresholds | None = None) -> None:
+        self.thresholds = thresholds or DEFAULT_THRESHOLDS
+
+    def analyze(self, log: DarshanLog, trace_name: str = "trace") -> DrishtiReport:
+        """Evaluate every trigger and collect its insights."""
+        view = build_view(log, self.thresholds)
+        report = DrishtiReport(trace_name=trace_name)
+        for trigger in all_triggers():
+            report.insights.extend(trigger(view, self.thresholds))
+        return report
+
+    def analyze_file(self, log_path: str | Path) -> DrishtiReport:
+        """Analyze a binary Darshan log file."""
+        log_path = Path(log_path)
+        return self.analyze(read_log(log_path), trace_name=log_path.stem)

@@ -1,0 +1,57 @@
+"""``drishti-repro`` command-line interface."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.drishti.analyzer import DrishtiAnalyzer
+from repro.drishti.report import render_report
+from repro.drishti.thresholds import Thresholds
+from repro.util.console import suppress_broken_pipe
+from repro.util.errors import ReproError
+from repro.util.units import parse_size
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="drishti-repro",
+        description=(
+            "Heuristic Darshan trace analysis (Drishti reimplementation, "
+            "the paper's baseline)."
+        ),
+    )
+    parser.add_argument("trace", help="path to a binary Darshan log")
+    parser.add_argument(
+        "--small-size",
+        default="1MiB",
+        help="small-request size threshold (default: 1MiB)",
+    )
+    parser.add_argument(
+        "--small-ratio",
+        type=float,
+        default=0.10,
+        help="small-request ratio threshold (default: 0.10)",
+    )
+    return parser
+
+
+@suppress_broken_pipe
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    thresholds = Thresholds(
+        small_request_size=parse_size(args.small_size),
+        small_requests_ratio=args.small_ratio,
+    )
+    analyzer = DrishtiAnalyzer(thresholds=thresholds)
+    try:
+        report = analyzer.analyze_file(args.trace)
+    except (ReproError, OSError) as exc:
+        print(f"drishti-repro: error: {exc}", file=sys.stderr)
+        return 1
+    print(render_report(report))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

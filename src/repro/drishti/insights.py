@@ -1,0 +1,70 @@
+"""Insight model for the Drishti baseline.
+
+Drishti reports findings as severity-tagged insights with a canned
+recommendation per trigger.  For head-to-head evaluation against ION,
+each insight optionally maps onto the shared
+:class:`~repro.ion.issues.IssueType` taxonomy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.ion.issues import IssueType
+
+
+class Level(enum.Enum):
+    """Drishti severity levels."""
+
+    HIGH = "high"
+    WARN = "warn"
+    OK = "ok"
+    INFO = "info"
+
+    @property
+    def flagged(self) -> bool:
+        """Whether the insight counts as a detected problem."""
+        return self in (Level.HIGH, Level.WARN)
+
+
+@dataclass(frozen=True)
+class Insight:
+    """One trigger's finding."""
+
+    code: str  # e.g. "POSIX-02"
+    level: Level
+    message: str
+    recommendation: str = ""
+    issue: IssueType | None = None
+    details: tuple[str, ...] = ()
+
+
+@dataclass
+class DrishtiReport:
+    """All insights for one trace."""
+
+    trace_name: str
+    insights: list[Insight] = field(default_factory=list)
+
+    @property
+    def flagged(self) -> list[Insight]:
+        """Insights at HIGH or WARN severity."""
+        return [insight for insight in self.insights if insight.level.flagged]
+
+    @property
+    def detected_issues(self) -> set[IssueType]:
+        """Flagged insights mapped onto the shared issue taxonomy."""
+        return {
+            insight.issue for insight in self.flagged if insight.issue is not None
+        }
+
+    def by_code(self, code: str) -> Insight:
+        """Look up one insight by trigger code."""
+        for insight in self.insights:
+            if insight.code == code:
+                return insight
+        raise KeyError(f"no insight with code {code!r}")
+
+    def has_code(self, code: str) -> bool:
+        return any(insight.code == code for insight in self.insights)

@@ -1,0 +1,45 @@
+"""Text rendering of Drishti reports (the boxed summary layout)."""
+
+from __future__ import annotations
+
+import io
+
+from repro.drishti.insights import DrishtiReport, Insight, Level
+
+_BADGE = {
+    Level.HIGH: "[HIGH]",
+    Level.WARN: "[WARN]",
+    Level.OK: "[ OK ]",
+    Level.INFO: "[INFO]",
+}
+
+
+def render_insight(insight: Insight) -> str:
+    """Render one insight with its recommendation and details."""
+    out = io.StringIO()
+    out.write(f"{_BADGE[insight.level]} ({insight.code}) {insight.message}\n")
+    for detail in insight.details:
+        out.write(f"         - {detail}\n")
+    if insight.recommendation and insight.level.flagged:
+        out.write(f"         > Recommendation: {insight.recommendation}\n")
+    return out.getvalue()
+
+
+def render_report(report: DrishtiReport) -> str:
+    """Render the full Drishti report."""
+    out = io.StringIO()
+    out.write("=" * 72 + "\n")
+    out.write(f"DRISHTI report (reproduction) — {report.trace_name}\n")
+    out.write("=" * 72 + "\n")
+    order = (Level.HIGH, Level.WARN, Level.INFO, Level.OK)
+    for level in order:
+        group = [i for i in report.insights if i.level == level]
+        for insight in group:
+            out.write(render_insight(insight))
+    flagged = len(report.flagged)
+    out.write("-" * 72 + "\n")
+    out.write(
+        f"{flagged} critical/warning insight(s) over "
+        f"{len(report.insights)} checks\n"
+    )
+    return out.getvalue()

@@ -1,0 +1,52 @@
+"""Drishti's default trigger thresholds.
+
+These are the fixed, expert-tuned constants the paper criticizes:
+correct for some systems and workloads, silently wrong for others.
+They are collected here (rather than inlined in the triggers) so the
+ABL3 benchmark can sweep them and measure how sensitive Drishti's
+verdicts are to their exact values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import MIB
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Every tunable constant in the trigger set."""
+
+    #: Requests below this size count as "small" (paper: 1 MiB default).
+    small_request_size: int = MIB
+    #: Flag when more than this fraction of requests is small (10%).
+    small_requests_ratio: float = 0.10
+    #: Flag when more than this fraction of requests is misaligned.
+    misaligned_ratio: float = 0.10
+    #: Flag when more than this fraction of operations is random.
+    random_ratio: float = 0.20
+    #: Praise sequential access above this fraction.
+    sequential_ratio: float = 0.80
+    #: Per-file byte imbalance across ranks (max-min)/max.
+    shared_imbalance_ratio: float = 0.15
+    #: Whole-job per-rank byte imbalance.
+    data_imbalance_ratio: float = 0.30
+    #: Per-rank time-based straggler imbalance.
+    time_imbalance_ratio: float = 0.15
+    #: Per-rank metadata time considered excessive (seconds).
+    metadata_time_rank: float = 30.0
+    #: BYTES_READ / (MAX_BYTE_READ+1) above this means redundant reads.
+    redundant_ratio: float = 2.0
+    #: Flag STDIO when it moves more than this share of bytes.
+    stdio_ratio: float = 0.10
+    #: Flag read/write interleaving above this fraction of operations.
+    rw_switches_ratio: float = 0.10
+    #: Independent MPI-IO operations on shared files above this fraction
+    #: (with zero collectives) trigger the collective recommendation.
+    collective_ratio: float = 0.10
+    #: Opens-per-file churn considered metadata-hostile.
+    opens_per_file: float = 8.0
+
+
+DEFAULT_THRESHOLDS = Thresholds()

@@ -1,0 +1,49 @@
+"""Evaluation: ground-truth scoring and paper-figure regeneration."""
+
+from repro.evaluation.experiments import (
+    DEFAULT_SCALES,
+    AblationResult,
+    ThresholdPoint,
+    effective_scale,
+    generate_bundle,
+    run_context_ablation,
+    run_figure2,
+    run_figure3,
+    run_prompting_ablation,
+    run_threshold_sweep,
+)
+from repro.evaluation.matching import (
+    Aggregate,
+    TraceScore,
+    aggregate,
+    score_drishti,
+    score_ion,
+)
+from repro.evaluation.tables import (
+    Figure2Row,
+    Figure3Row,
+    render_figure2,
+    render_figure3,
+)
+
+__all__ = [
+    "Aggregate",
+    "AblationResult",
+    "DEFAULT_SCALES",
+    "Figure2Row",
+    "Figure3Row",
+    "ThresholdPoint",
+    "TraceScore",
+    "aggregate",
+    "effective_scale",
+    "generate_bundle",
+    "render_figure2",
+    "render_figure3",
+    "run_context_ablation",
+    "run_figure2",
+    "run_figure3",
+    "run_prompting_ablation",
+    "run_threshold_sweep",
+    "score_drishti",
+    "score_ion",
+]

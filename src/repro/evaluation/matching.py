@@ -1,0 +1,142 @@
+"""Scoring tool output against workload ground truth.
+
+A *matched issue* means the tool observed the injected pattern (whether
+it flagged it as harmful or reported it as mitigated — the paper's
+Figure 2 counts both as correct diagnosis, since e.g. "small but
+aggregatable" is the desired answer for ior-easy).  A *false positive*
+is an issue the tool flagged as harmful that was not injected.
+Mitigation notes are scored separately: they are ION's qualitative
+differentiator and Drishti structurally cannot produce them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.drishti.insights import DrishtiReport
+from repro.ion.issues import DiagnosisReport, IssueType, MitigationNote
+from repro.workloads.base import GroundTruth
+
+
+@dataclass
+class TraceScore:
+    """Detection quality of one tool on one trace."""
+
+    trace: str
+    tool: str
+    truth_issues: frozenset[IssueType]
+    truth_mitigations: frozenset[MitigationNote]
+    observed: frozenset[IssueType]
+    flagged: frozenset[IssueType]
+    mitigations: frozenset[MitigationNote] = frozenset()
+
+    @property
+    def matched_issues(self) -> frozenset[IssueType]:
+        return self.truth_issues & self.observed
+
+    @property
+    def missed_issues(self) -> frozenset[IssueType]:
+        return self.truth_issues - self.observed
+
+    @property
+    def false_positives(self) -> frozenset[IssueType]:
+        return self.flagged - self.truth_issues
+
+    @property
+    def matched_mitigations(self) -> frozenset[MitigationNote]:
+        return self.truth_mitigations & self.mitigations
+
+    @property
+    def missed_mitigations(self) -> frozenset[MitigationNote]:
+        return self.truth_mitigations - self.mitigations
+
+    @property
+    def recall(self) -> float:
+        """Fraction of injected issues the tool observed."""
+        if not self.truth_issues:
+            return 1.0
+        return len(self.matched_issues) / len(self.truth_issues)
+
+    @property
+    def precision(self) -> float:
+        """Fraction of flagged issues that were actually injected."""
+        if not self.flagged:
+            return 1.0
+        return len(self.flagged & self.truth_issues) / len(self.flagged)
+
+    @property
+    def mitigation_recall(self) -> float:
+        """Fraction of injected mitigating conditions the tool reported."""
+        if not self.truth_mitigations:
+            return 1.0
+        return len(self.matched_mitigations) / len(self.truth_mitigations)
+
+    @property
+    def exact(self) -> bool:
+        """Perfect diagnosis: all issues observed, nothing spurious."""
+        return not self.missed_issues and not self.false_positives
+
+
+def score_ion(truth: GroundTruth, report: DiagnosisReport) -> TraceScore:
+    """Score an ION diagnosis report against ground truth."""
+    return TraceScore(
+        trace=report.trace_name,
+        tool="ION",
+        truth_issues=frozenset(truth.issues),
+        truth_mitigations=frozenset(truth.mitigations),
+        observed=frozenset(report.observed_issues),
+        flagged=frozenset(report.detected_issues),
+        mitigations=frozenset(report.mitigation_notes),
+    )
+
+
+def score_drishti(truth: GroundTruth, report: DrishtiReport) -> TraceScore:
+    """Score a Drishti report: flagged insights mapped onto the taxonomy.
+
+    Drishti has no mitigated-but-present reporting level and no
+    mitigation notes; its observed set equals its flagged set and its
+    mitigation set is empty by construction.
+    """
+    detected = frozenset(report.detected_issues)
+    return TraceScore(
+        trace=report.trace_name,
+        tool="Drishti",
+        truth_issues=frozenset(truth.issues),
+        truth_mitigations=frozenset(truth.mitigations),
+        observed=detected,
+        flagged=detected,
+        mitigations=frozenset(),
+    )
+
+
+@dataclass
+class Aggregate:
+    """Mean detection quality over a suite of traces."""
+
+    tool: str
+    scores: list[TraceScore] = field(default_factory=list)
+
+    @property
+    def recall(self) -> float:
+        return _mean([score.recall for score in self.scores])
+
+    @property
+    def precision(self) -> float:
+        return _mean([score.precision for score in self.scores])
+
+    @property
+    def mitigation_recall(self) -> float:
+        return _mean([score.mitigation_recall for score in self.scores])
+
+    @property
+    def exact_traces(self) -> int:
+        return sum(1 for score in self.scores if score.exact)
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def aggregate(scores: list[TraceScore], tool: str) -> Aggregate:
+    """Collect the scores of one tool into suite-level means."""
+    return Aggregate(tool=tool, scores=[s for s in scores if s.tool == tool])

@@ -1,0 +1,284 @@
+"""The ION Analyzer: prompt dispatch, completion parsing, summarization.
+
+For every issue type the Analyzer formats a prompt (issue context +
+system parameters + filtered file descriptions + output format), runs
+it against the LLM through an Assistants-style run with a code
+interpreter attached, and parses the completion into a
+:class:`~repro.ion.issues.Diagnosis` — steps, executed code, measured
+evidence, severity and mitigation notes.  Prompts are dispatched in
+parallel, as in the paper.  Finally a summarization prompt combines
+all per-issue conclusions into the global summary.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.ion.contexts import IssueContext, context_for, default_issue_order
+from repro.ion.extractor import ExtractionResult
+from repro.ion.issues import (
+    Diagnosis,
+    DiagnosisReport,
+    IssueType,
+    MitigationNote,
+    Severity,
+)
+from repro.ion.prompts import (
+    ASSISTANT_INSTRUCTIONS,
+    build_issue_prompt,
+    build_monolithic_prompt,
+    build_summary_prompt,
+)
+from repro.llm.assistants import Assistant, Run, RunStatus, Thread
+from repro.llm.client import LLMClient
+from repro.llm.expert.model import SimulatedExpertLLM, parse_conclusions
+from repro.llm.interpreter import CodeInterpreter
+from repro.llm.messages import Message
+from repro.util.errors import AnalysisError
+
+_SEVERITY_RE = re.compile(r"\[severity=(\w+)\]")
+_MITIGATIONS_RE = re.compile(r"\[mitigations=([\w,\s]+)\]")
+_STEP_RE = re.compile(r"^\s*\d+\.\s+(.*\S)", flags=re.MULTILINE)
+_ISSUE_MARKER = "### ISSUE:"
+
+_TITLE_TO_ISSUE = {issue.title: issue for issue in IssueType}
+
+
+@dataclass
+class AnalyzerConfig:
+    """Tunables of the analysis pipeline."""
+
+    strategy: str = "divide"  # "divide" (paper) or "monolithic" (ABL1)
+    include_context: bool = True  # False reproduces ABL2
+    include_dxt: bool = True  # False forces counters-only analysis
+    #: "static" uses the fixed per-issue contexts; "retrieval" builds
+    #: each prompt's context from knowledge-base passages (RAG mode).
+    context_source: str = "static"
+    retrieval_k: int = 3
+    issues: tuple[IssueType, ...] = field(
+        default_factory=lambda: tuple(default_issue_order())
+    )
+    max_tool_rounds: int = 6
+    parallel_prompts: int = 4
+    summarize: bool = True
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("divide", "monolithic"):
+            raise AnalysisError(f"unknown strategy {self.strategy!r}")
+        if self.context_source not in ("static", "retrieval"):
+            raise AnalysisError(
+                f"unknown context source {self.context_source!r}"
+            )
+        if self.retrieval_k < 1:
+            raise AnalysisError("retrieval_k must be at least 1")
+        if not self.issues:
+            raise AnalysisError("at least one issue type must be analyzed")
+
+
+class Analyzer:
+    """Runs the full per-issue diagnosis over one extraction."""
+
+    def __init__(
+        self, client: LLMClient | None = None, config: AnalyzerConfig | None = None
+    ) -> None:
+        self.client = client or SimulatedExpertLLM()
+        self.config = config or AnalyzerConfig()
+
+    # -- public API ------------------------------------------------------
+
+    def analyze(
+        self, extraction: ExtractionResult, trace_name: str = "trace"
+    ) -> DiagnosisReport:
+        """Produce the full diagnosis report for one extracted trace."""
+        if self.config.strategy == "divide":
+            diagnoses = self._analyze_divide(extraction, trace_name)
+        else:
+            diagnoses = self._analyze_monolithic(extraction, trace_name)
+        report = DiagnosisReport(trace_name=trace_name, diagnoses=diagnoses)
+        if self.config.summarize:
+            report.summary = self._summarize(trace_name, diagnoses)
+        return report
+
+    # -- strategies ----------------------------------------------------------
+
+    def _contexts(self, extraction: ExtractionResult) -> list[IssueContext]:
+        if self.config.context_source == "retrieval":
+            from repro.ion.retrieval import ContextRetriever
+
+            retriever = ContextRetriever()
+            return [
+                retriever.retrieve(issue, extraction, k=self.config.retrieval_k)
+                for issue in self.config.issues
+            ]
+        return [context_for(issue) for issue in self.config.issues]
+
+    def _analyze_divide(
+        self, extraction: ExtractionResult, trace_name: str
+    ) -> list[Diagnosis]:
+        contexts = self._contexts(extraction)
+
+        def run_one(context: IssueContext) -> Diagnosis:
+            prompt = build_issue_prompt(
+                trace_name, context, extraction,
+                include_context=self.config.include_context,
+                include_dxt=self.config.include_dxt,
+            )
+            run = self._run_prompt(prompt, extraction)
+            return self._diagnosis_from_run(context.issue, run)
+
+        if self.config.parallel_prompts > 1:
+            with ThreadPoolExecutor(
+                max_workers=self.config.parallel_prompts
+            ) as pool:
+                return list(pool.map(run_one, contexts))
+        return [run_one(context) for context in contexts]
+
+    def _analyze_monolithic(
+        self, extraction: ExtractionResult, trace_name: str
+    ) -> list[Diagnosis]:
+        contexts = self._contexts(extraction)
+        prompt = build_monolithic_prompt(
+            trace_name, contexts, extraction,
+            include_context=self.config.include_context,
+            include_dxt=self.config.include_dxt,
+        )
+        run = self._run_prompt(prompt, extraction)
+        conclusions = parse_conclusions(run.final_text)
+        evidence = self._evidence_by_issue(run)
+        diagnoses = []
+        for issue in self.config.issues:
+            body = conclusions.get(issue.title)
+            if body is None:
+                diagnoses.append(
+                    Diagnosis(
+                        issue=issue,
+                        severity=Severity.OK,
+                        conclusion=(
+                            "(the model did not address this issue in its "
+                            "combined completion)"
+                        ),
+                    )
+                )
+                continue
+            diagnoses.append(
+                self._diagnosis_from_body(issue, body, run, evidence.get(issue))
+            )
+        return diagnoses
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _run_prompt(self, prompt: str, extraction: ExtractionResult) -> Run:
+        interpreter = CodeInterpreter(extraction.directory)
+        assistant = Assistant(
+            client=self.client,
+            instructions=ASSISTANT_INSTRUCTIONS,
+            interpreter=interpreter,
+            max_tool_rounds=self.config.max_tool_rounds,
+        )
+        thread = Thread()
+        thread.add(Message.user(prompt))
+        run = assistant.run(thread)
+        if run.status != RunStatus.COMPLETED:
+            raise AnalysisError(
+                "analysis run failed to complete within the tool budget"
+            )
+        return run
+
+    def _diagnosis_from_run(self, issue: IssueType, run: Run) -> Diagnosis:
+        conclusions = parse_conclusions(run.final_text)
+        body = conclusions.get(issue.title, run.final_text)
+        evidence = self._evidence_by_issue(run).get(issue)
+        return self._diagnosis_from_body(issue, body, run, evidence)
+
+    def _diagnosis_from_body(
+        self, issue: IssueType, body: str, run: Run, evidence: dict | None
+    ) -> Diagnosis:
+        severity = Severity.OK
+        match = _SEVERITY_RE.search(body)
+        if match:
+            try:
+                severity = Severity(match.group(1))
+            except ValueError as exc:
+                raise AnalysisError(
+                    f"model produced unknown severity {match.group(1)!r}"
+                ) from exc
+        mitigations: list[MitigationNote] = []
+        match = _MITIGATIONS_RE.search(body)
+        if match:
+            for token in match.group(1).split(","):
+                token = token.strip()
+                if not token:
+                    continue
+                try:
+                    mitigations.append(MitigationNote(token))
+                except ValueError as exc:
+                    raise AnalysisError(
+                        f"model produced unknown mitigation {token!r}"
+                    ) from exc
+        conclusion = _SEVERITY_RE.sub("", body)
+        conclusion = _MITIGATIONS_RE.sub("", conclusion).strip()
+        steps = self._steps_from_run(run)
+        return Diagnosis(
+            issue=issue,
+            severity=severity,
+            conclusion=conclusion,
+            steps=steps,
+            code="\n\n".join(run.code_blocks),
+            code_output=run.tool_outputs[-1] if run.tool_outputs else "",
+            evidence=evidence or {},
+            mitigations=mitigations,
+        )
+
+    def _steps_from_run(self, run: Run) -> list[str]:
+        for step in run.steps:
+            content = step.completion.content
+            if "Diagnosis Steps:" in content:
+                return _STEP_RE.findall(content)
+        return []
+
+    def _evidence_by_issue(self, run: Run) -> dict[IssueType, dict]:
+        """Recover per-issue metrics from the last successful tool output."""
+        evidence: dict[IssueType, dict] = {}
+        for step in run.steps:
+            if step.execution is None or not step.execution.ok:
+                continue
+            current: IssueType | None = None
+            single = len(self.config.issues) == 1
+            for line in step.execution.stdout.splitlines():
+                line = line.strip()
+                if line.startswith(_ISSUE_MARKER):
+                    title_value = line[len(_ISSUE_MARKER):].strip()
+                    current = next(
+                        (i for i in IssueType if i.value == title_value), None
+                    )
+                    continue
+                if not line.startswith("{"):
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if current is not None:
+                    evidence[current] = payload
+                elif single:
+                    evidence[self.config.issues[0]] = payload
+        return evidence
+
+    # -- summary -------------------------------------------------------------------
+
+    def _summarize(
+        self, trace_name: str, diagnoses: list[Diagnosis]
+    ) -> str:
+        conclusions = [
+            (
+                diagnosis.issue,
+                f"{diagnosis.conclusion} [severity={diagnosis.severity.value}]",
+            )
+            for diagnosis in diagnoses
+        ]
+        prompt = build_summary_prompt(trace_name, conclusions)
+        completion = self.client.complete([Message.user(prompt)])
+        return completion.content

@@ -1,0 +1,121 @@
+"""``ion`` command-line interface.
+
+Usage::
+
+    ion TRACE.darshan [--strategy divide|monolithic] [--no-context]
+                      [--show-code] [--ask QUESTION ...] [--workdir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.ion.analyzer import AnalyzerConfig
+from repro.ion.pipeline import IoNavigator
+from repro.ion.report import render_report
+from repro.util.console import suppress_broken_pipe
+from repro.util.errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ion",
+        description=(
+            "ION: diagnose HPC I/O issues from a Darshan trace using an "
+            "LLM analysis pipeline (reproduction)."
+        ),
+    )
+    parser.add_argument("trace", help="path to a binary Darshan log")
+    parser.add_argument(
+        "--strategy",
+        choices=("divide", "monolithic"),
+        default="divide",
+        help="prompting strategy (default: divide-and-conquer)",
+    )
+    parser.add_argument(
+        "--no-context",
+        action="store_true",
+        help="omit issue contexts from prompts (ablation)",
+    )
+    parser.add_argument(
+        "--show-code",
+        action="store_true",
+        help="include generated analysis code in the report",
+    )
+    parser.add_argument(
+        "--ask",
+        action="append",
+        default=[],
+        metavar="QUESTION",
+        help="ask a follow-up question after the diagnosis (repeatable)",
+    )
+    parser.add_argument(
+        "--workdir", default=None, help="directory for extracted CSVs"
+    )
+    parser.add_argument(
+        "--html", default=None, metavar="PATH",
+        help="also write the report as a self-contained HTML file",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the report as JSON",
+    )
+    parser.add_argument(
+        "--consistency", action="store_true",
+        help="cross-check the diagnosis through counters-only and "
+             "monolithic variants and report disagreements",
+    )
+    return parser
+
+
+@suppress_broken_pipe
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = AnalyzerConfig(
+        strategy=args.strategy, include_context=not args.no_context
+    )
+    navigator = IoNavigator(config=config, workdir=args.workdir)
+    try:
+        result = navigator.diagnose_file(args.trace)
+    except (ReproError, OSError) as exc:
+        print(f"ion: error: {exc}", file=sys.stderr)
+        return 1
+    print(render_report(result.report, show_code=args.show_code))
+    for question in args.ask:
+        print(f"Q: {question}")
+        print(f"A: {result.session.ask(question)}")
+        print()
+    if args.consistency:
+        from repro.ion.consistency import ConsistencyChecker
+
+        checker = ConsistencyChecker(
+            variants=("standard", "counters-only", "monolithic")
+        )
+        consistency = checker.check(result.extraction, result.report.trace_name)
+        print("--- Consistency check ---")
+        print(
+            f"agreement: {consistency.agreement_rate:.2f} "
+            f"(detection: {consistency.detection_agreement_rate:.2f})"
+        )
+        for item in consistency.inconsistent_issues:
+            votes = ", ".join(
+                f"{variant}={severity.value}"
+                for variant, severity in sorted(item.severities.items())
+            )
+            print(f"  {item.issue.title}: {votes} -> voted {item.voted.value}")
+    if args.html:
+        from repro.ion.htmlreport import write_html
+
+        path = write_html(result.report, args.html, session=result.session)
+        print(f"HTML report written to {path}")
+    if args.json:
+        from repro.ion.serialize import dump_report
+
+        path = dump_report(result.report, args.json)
+        print(f"JSON report written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

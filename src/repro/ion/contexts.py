@@ -1,0 +1,250 @@
+"""The I/O Performance Issue Context knowledge base.
+
+This is ION's replacement for Drishti's fixed numeric triggers: one
+context per issue type that *describes the nature of the issue* and
+names the key metrics that reveal it, referencing system facts (Lustre
+stripe size, RPC size) rather than expert-tuned percentage thresholds.
+Each context also records which Darshan modules its analysis needs, so
+the prompt builder can filter file descriptions per issue (the paper's
+"predefined mapping of necessary modules for each issue type").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ion.issues import IssueType
+
+
+@dataclass(frozen=True)
+class IssueContext:
+    """Domain knowledge for diagnosing one issue type."""
+
+    issue: IssueType
+    text: str
+    required_modules: tuple[str, ...]
+
+    @property
+    def title(self) -> str:
+        return self.issue.title
+
+
+_CONTEXTS: dict[IssueType, IssueContext] = {}
+
+
+def _register(issue: IssueType, modules: tuple[str, ...], text: str) -> None:
+    _CONTEXTS[issue] = IssueContext(issue=issue, text=text.strip(), required_modules=modules)
+
+
+_register(
+    IssueType.SMALL_IO,
+    ("POSIX", "LUSTRE"),
+    """
+Parallel file systems move data in large remote procedure calls (RPCs);
+on Lustre the client RPC size is a system setting (typically 4 MiB) and
+the stripe size sets the unit of server-side locality. Requests much
+smaller than the RPC size underutilize each RPC, inflate per-operation
+overhead, and multiply server round trips. HOWEVER, small requests are
+not always harmful: when a rank issues them CONSECUTIVELY (each request
+starting exactly where the previous one ended), the client-side page
+cache and request aggregation can coalesce them into full-size RPCs
+before they reach the servers, mitigating most of the inefficiency.
+Small requests that are non-consecutive (strided or random) cannot be
+aggregated and realize the full penalty.
+
+Key metrics: the access-size histograms (POSIX_SIZE_READ_* and
+POSIX_SIZE_WRITE_*) relative to the system RPC size and stripe size;
+POSIX_CONSEC_READS / POSIX_CONSEC_WRITES and POSIX_SEQ_READS /
+POSIX_SEQ_WRITES relative to POSIX_READS / POSIX_WRITES to judge
+aggregatability; the most common access sizes (POSIX_ACCESS*_ACCESS);
+and the share of small requests per file to locate the worst offender.
+Distinguish requests below the stripe size (severe when unaggregatable)
+from requests between the stripe size and the RPC size (milder).
+""",
+)
+
+_register(
+    IssueType.MISALIGNED_IO,
+    ("POSIX", "LUSTRE"),
+    """
+Lustre stripes every file over object storage targets (OSTs) in
+stripe_size units. A request whose file offset is not a multiple of
+the file alignment (on Lustre, the stripe size reported in
+LUSTRE_STRIPE_SIZE) may straddle a stripe boundary, touching two OSTs,
+acquiring two extent locks, and splitting into extra RPCs. Pervasive
+misalignment amplifies lock traffic and server load, and commonly
+arises from odd-sized file headers (e.g. HDF5 superblocks or netCDF
+headers) shifting otherwise regular access patterns. Memory-buffer
+misalignment (POSIX_MEM_NOT_ALIGNED) additionally forces internal
+copies, a smaller but measurable cost.
+
+Key metrics: POSIX_FILE_NOT_ALIGNED relative to total operations
+(POSIX_READS + POSIX_WRITES); POSIX_FILE_ALIGNMENT and the per-file
+LUSTRE_STRIPE_SIZE to confirm what alignment means on this system;
+POSIX_MEM_NOT_ALIGNED for buffer alignment; and per-file breakdowns to
+identify whether misalignment is global or confined to one dataset.
+""",
+)
+
+_register(
+    IssueType.RANDOM_ACCESS,
+    ("POSIX", "LUSTRE"),
+    """
+Access patterns matter as much as request sizes. An access is
+CONSECUTIVE when it begins exactly where the previous access of the
+same rank on the same file ended, SEQUENTIAL when it begins at or past
+the previous end (possibly leaving a forward gap, i.e. strided), and
+RANDOM when it jumps backward. Random and strided patterns defeat
+client aggregation and server read-ahead, and on striped storage they
+scatter requests across OSTs and extent locks. The DXT trace (per-
+operation offsets, lengths and timestamps) gives the exact
+classification; without DXT, POSIX_SEQ_* and POSIX_CONSEC_* counters
+bound it. IMPORTANT: judge impact in context — a small population of
+random operations, a low per-rank random-operation count, or a small
+fraction of total bytes moved through random accesses means the
+pattern does not affect the application's overall I/O performance even
+though it is present.
+
+Key metrics: per-rank, per-file ordered DXT offsets; backward-jump
+fraction per direction (reads vs writes); bytes moved by random
+operations relative to total bytes; random operations per rank.
+""",
+)
+
+_register(
+    IssueType.SHARED_FILE_CONTENTION,
+    ("POSIX", "LUSTRE"),
+    """
+When multiple ranks write a single shared file, Lustre must serialize
+conflicting access within each stripe through distributed extent
+locks; ranks that touch the SAME stripe at the SAME time trigger lock
+revocations and OST-level serialization (lock ping-pong). Shared-file
+access by itself is NOT a problem: if every rank works in a disjoint
+set of stripes (e.g. large per-rank blocks aligned to the stripe
+size), no conflicts arise and shared-file I/O performs like
+file-per-process. Sharing only the single boundary stripe between
+adjacent ranks (a by-product of unaligned decompositions) is a mild,
+localized effect; many ranks interleaving within the same stripes
+continuously is severe.
+
+Key metrics: which files are accessed by more than one rank (per-rank
+records in POSIX data); mapping of DXT offsets to stripe indices via
+LUSTRE_STRIPE_SIZE; the number of distinct ranks per stripe; temporal
+overlap of different ranks' accesses to the same stripe; the fraction
+of operations that fall in rank-shared stripes.
+""",
+)
+
+_register(
+    IssueType.LOAD_IMBALANCE,
+    ("POSIX",),
+    """
+Parallel I/O performs best when ranks move comparable amounts of data
+in comparable time; a few overloaded ranks stall everyone at the next
+synchronization point. Imbalance shows up as a skewed distribution of
+per-rank transferred bytes, operation counts, or per-rank I/O time.
+Interpretation requires care: a single overloaded rank (typically
+rank 0) usually indicates a serialization bug (e.g. one rank writing
+headers or fill values for everyone), while a REGULAR SUBSET of ranks
+doing nearly all filesystem operations (for instance a number of ranks
+matching the collective-buffering aggregator count) is usually an
+intentional aggregation topology inherent to the algorithm — worth
+reporting, but not necessarily a defect.
+
+Key metrics: per-rank sums of POSIX_BYTES_READ + POSIX_BYTES_WRITTEN
+and of POSIX_F_READ_TIME + POSIX_F_WRITE_TIME + POSIX_F_META_TIME; the
+imbalance ratio (max - mean) / max; how many ranks sit more than one
+standard deviation above the mean and what share of operations they
+carry; per-file variance counters (POSIX_F_VARIANCE_RANK_BYTES).
+""",
+)
+
+_register(
+    IssueType.METADATA_LOAD,
+    ("POSIX", "STDIO"),
+    """
+Every open, stat, seek and sync is a round trip to the metadata server
+(MDS), a single shared resource; applications that repeatedly reopen
+many small files, stat before every access, or sync aggressively can
+bottleneck on metadata while moving almost no data. The signature is a
+high ratio of metadata operations to data operations, metadata time
+rivaling or exceeding data-transfer time, and open counts far above
+the number of distinct files (open/close churn).
+
+Key metrics: POSIX_OPENS, POSIX_STATS, POSIX_SEEKS, POSIX_FSYNCS
+against POSIX_READS + POSIX_WRITES; POSIX_F_META_TIME against
+POSIX_F_READ_TIME + POSIX_F_WRITE_TIME; the number of distinct files;
+opens per file.
+""",
+)
+
+_register(
+    IssueType.NO_MPIIO,
+    ("POSIX", "MPI-IO"),
+    """
+On HPC systems, multi-rank applications that perform their I/O through
+raw POSIX calls forgo every optimization the MPI-IO layer provides:
+collective buffering (two-phase I/O), data sieving, request
+aggregation across ranks, and filesystem-specific hints. The presence
+of POSIX activity from several ranks with no MPI-IO records at all
+indicates the application (or the I/O library configuration) bypasses
+MPI-IO; moving to MPI-IO collective or non-blocking operations is the
+standard recommendation, especially for shared files and small or
+strided requests.
+
+Key metrics: number of ranks issuing POSIX reads/writes; presence and
+operation counts of MPI-IO records (MPIIO_INDEP_*, MPIIO_COLL_*) for
+the same job.
+""",
+)
+
+_register(
+    IssueType.NO_COLLECTIVE,
+    ("MPI-IO",),
+    """
+Applications already using MPI-IO may still issue only INDEPENDENT
+operations (MPIIO_INDEP_READS / MPIIO_INDEP_WRITES), leaving collective
+buffering unused. Collective operations let a few aggregator ranks
+merge everyone's requests into large, aligned, stripe-friendly
+transfers — precisely the cure for many small or misaligned per-rank
+accesses on shared files. Independent-only MPI-IO with many ranks on a
+shared file is therefore a missed optimization; non-blocking
+operations (MPIIO_NB_*) can additionally overlap I/O with computation.
+
+Key metrics: MPIIO_COLL_READS + MPIIO_COLL_WRITES versus
+MPIIO_INDEP_READS + MPIIO_INDEP_WRITES + MPIIO_NB_*; number of ranks;
+whether files are shared across ranks.
+""",
+)
+
+_register(
+    IssueType.RANK_ZERO_BOTTLENECK,
+    ("POSIX",),
+    """
+A common serialization anti-pattern funnels I/O work through rank 0:
+writing file headers, pre-filling datasets with fill values, or
+gathering and writing everyone's data. The job then runs at the speed
+of one rank. The signature is rank 0 moving far more bytes, issuing
+far more operations, or spending far more I/O time than the average of
+all other ranks — often orders of magnitude more.
+
+Key metrics: rank 0's POSIX_BYTES_WRITTEN + POSIX_BYTES_READ and
+summed I/O time versus the mean over the other ranks; rank 0's share
+of total operations; which files rank 0 dominates.
+""",
+)
+
+
+def context_for(issue: IssueType) -> IssueContext:
+    """The knowledge-base entry for one issue type."""
+    return _CONTEXTS[issue]
+
+
+def all_contexts() -> list[IssueContext]:
+    """Every context, in taxonomy order."""
+    return [_CONTEXTS[issue] for issue in IssueType]
+
+
+def default_issue_order() -> list[IssueType]:
+    """The order in which ION analyzes issues (taxonomy order)."""
+    return list(IssueType)

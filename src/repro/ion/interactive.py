@@ -1,0 +1,62 @@
+"""ION's interactive Q&A interface over a finished diagnosis.
+
+After the global summary, the paper's front end exposes a message
+window where the scientist asks follow-up questions about any analysis
+step or result.  :class:`IonSession` reproduces that: it builds a
+digest of the report (summary, per-issue conclusions, measured
+evidence) and answers each question through the LLM with the digest as
+context, keeping the conversation history.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.ion.issues import DiagnosisReport
+from repro.ion.prompts import build_question_prompt
+from repro.llm.client import LLMClient
+from repro.llm.messages import Message
+
+
+def build_digest(report: DiagnosisReport) -> str:
+    """Render a report into the digest format the Q&A prompt carries."""
+    lines = [f"Summary: {' '.join(report.summary.split())}"]
+    for diagnosis in report.diagnoses:
+        lines.append("")
+        lines.append(
+            f"[{diagnosis.issue.value}] severity={diagnosis.severity.value}"
+        )
+        lines.append(f"Conclusion: {diagnosis.conclusion}")
+        lines.append(f"Evidence: {json.dumps(diagnosis.evidence, sort_keys=True)}")
+    return "\n".join(lines)
+
+
+@dataclass
+class Exchange:
+    """One question/answer pair in a session."""
+
+    question: str
+    answer: str
+
+
+@dataclass
+class IonSession:
+    """A conversational window onto one diagnosis report."""
+
+    report: DiagnosisReport
+    client: LLMClient
+    history: list[Exchange] = field(default_factory=list)
+
+    def ask(self, question: str) -> str:
+        """Ask a follow-up question; the answer cites measured evidence."""
+        question = question.strip()
+        if not question:
+            raise ValueError("question must not be empty")
+        prompt = build_question_prompt(
+            self.report.trace_name, build_digest(self.report), question
+        )
+        completion = self.client.complete([Message.user(prompt)])
+        exchange = Exchange(question=question, answer=completion.content)
+        self.history.append(exchange)
+        return exchange.answer

@@ -1,0 +1,145 @@
+"""The I/O issue taxonomy shared by ION, Drishti, and the evaluation.
+
+The paper's ground-truth table (Figure 2) and tool-comparison table
+(Figure 3) talk about the same nine issue families Drishti reports; ION
+additionally attaches *mitigation notes* — conditions under which a
+nominally-present issue does not actually hurt (small-but-consecutive
+I/O can be aggregated, a shared file without overlapping extents incurs
+no lock conflicts, and so on).  Those notes are the paper's headline
+qualitative win over trigger-based tools, so they are first-class here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class IssueType(enum.Enum):
+    """The nine I/O issue families diagnosed in the paper's evaluation."""
+
+    SMALL_IO = "small_io"
+    MISALIGNED_IO = "misaligned_io"
+    RANDOM_ACCESS = "random_access"
+    SHARED_FILE_CONTENTION = "shared_file_contention"
+    LOAD_IMBALANCE = "load_imbalance"
+    METADATA_LOAD = "metadata_load"
+    NO_MPIIO = "no_mpiio"
+    NO_COLLECTIVE = "no_collective"
+    RANK_ZERO_BOTTLENECK = "rank_zero_bottleneck"
+
+    @property
+    def title(self) -> str:
+        """Human-readable issue name used in prompts and reports."""
+        return _TITLES[self]
+
+
+_TITLES = {
+    IssueType.SMALL_IO: "Small I/O Operations",
+    IssueType.MISALIGNED_IO: "Misaligned I/O",
+    IssueType.RANDOM_ACCESS: "Random Access Pattern",
+    IssueType.SHARED_FILE_CONTENTION: "Shared-File Contention",
+    IssueType.LOAD_IMBALANCE: "Imbalanced I/O Load",
+    IssueType.METADATA_LOAD: "Excessive Metadata Load",
+    IssueType.NO_MPIIO: "POSIX-only I/O Despite Multiple Ranks",
+    IssueType.NO_COLLECTIVE: "MPI-IO Without Collective Operations",
+    IssueType.RANK_ZERO_BOTTLENECK: "Rank 0 Bottleneck",
+}
+
+
+class MitigationNote(enum.Enum):
+    """Contextual conditions that soften an issue's impact.
+
+    These are the "...but" clauses in ION's Figure 2/3 outputs: the
+    issue pattern is present, yet some property of the workload means
+    its cost is partially or wholly avoided.
+    """
+
+    AGGREGATABLE = "aggregatable"  # small ops are consecutive: client can merge
+    NON_OVERLAPPING = "non_overlapping"  # shared file but disjoint stripes
+    LOW_VOLUME = "low_volume"  # few ops / little data: impact bounded
+    ALGORITHMIC_SKEW = "algorithmic_skew"  # subset imbalance looks intentional
+
+    @property
+    def title(self) -> str:
+        return _MITIGATION_TITLES[self]
+
+
+_MITIGATION_TITLES = {
+    MitigationNote.AGGREGATABLE: "small operations are consecutive and aggregatable",
+    MitigationNote.NON_OVERLAPPING: "shared-file accesses do not overlap in stripes",
+    MitigationNote.LOW_VOLUME: "affected operation count and volume are low",
+    MitigationNote.ALGORITHMIC_SKEW: "imbalance appears inherent to the algorithm",
+}
+
+
+class Severity(enum.Enum):
+    """How strongly a diagnosis flags an issue."""
+
+    OK = "ok"  # examined, not present
+    INFO = "info"  # present but fully mitigated / informational
+    WARNING = "warning"  # present, likely hurting performance
+    CRITICAL = "critical"  # present and dominating performance
+
+    @property
+    def flagged(self) -> bool:
+        """Whether this severity counts as a positive detection."""
+        return self in (Severity.WARNING, Severity.CRITICAL)
+
+
+@dataclass
+class Diagnosis:
+    """The outcome of analyzing one issue type over one trace."""
+
+    issue: IssueType
+    severity: Severity
+    conclusion: str
+    steps: list[str] = field(default_factory=list)
+    code: str = ""
+    code_output: str = ""
+    evidence: dict[str, object] = field(default_factory=dict)
+    mitigations: list[MitigationNote] = field(default_factory=list)
+
+    @property
+    def detected(self) -> bool:
+        """Whether the issue was flagged as actually present and harmful."""
+        return self.severity.flagged
+
+    @property
+    def observed(self) -> bool:
+        """Whether the pattern was seen at all (even if mitigated)."""
+        return self.severity != Severity.OK
+
+
+@dataclass
+class DiagnosisReport:
+    """Everything the ION analyzer produced for one trace."""
+
+    trace_name: str
+    diagnoses: list[Diagnosis]
+    summary: str = ""
+
+    def diagnosis_for(self, issue: IssueType) -> Diagnosis:
+        """Look up the diagnosis of one issue type."""
+        for diagnosis in self.diagnoses:
+            if diagnosis.issue == issue:
+                return diagnosis
+        raise KeyError(f"no diagnosis for {issue}")
+
+    @property
+    def detected_issues(self) -> set[IssueType]:
+        """Issues flagged as present and harmful."""
+        return {d.issue for d in self.diagnoses if d.detected}
+
+    @property
+    def observed_issues(self) -> set[IssueType]:
+        """Issues whose pattern was observed, harmful or mitigated."""
+        return {d.issue for d in self.diagnoses if d.observed}
+
+    @property
+    def mitigation_notes(self) -> set[MitigationNote]:
+        """Every mitigation note attached anywhere in the report."""
+        notes: set[MitigationNote] = set()
+        for diagnosis in self.diagnoses:
+            notes.update(diagnosis.mitigations)
+        return notes

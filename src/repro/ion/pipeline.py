@@ -1,0 +1,73 @@
+"""The IoNavigator facade: one call from trace to report.
+
+Ties the Extractor, Analyzer and interactive session together, exactly
+following Figure 1 of the paper: binary Darshan log -> module CSVs ->
+parallel per-issue prompts -> diagnoses -> global summary -> Q&A.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.darshan.log import DarshanLog
+from repro.ion.analyzer import Analyzer, AnalyzerConfig
+from repro.ion.extractor import ExtractionResult, Extractor
+from repro.ion.interactive import IonSession
+from repro.ion.issues import DiagnosisReport
+from repro.llm.client import LLMClient
+from repro.llm.expert.model import SimulatedExpertLLM
+from repro.util.units import MIB
+
+
+@dataclass
+class IonResult:
+    """Everything one diagnosis produced."""
+
+    report: DiagnosisReport
+    extraction: ExtractionResult
+    session: IonSession
+
+
+class IoNavigator:
+    """End-to-end ION pipeline over a Darshan trace."""
+
+    def __init__(
+        self,
+        client: LLMClient | None = None,
+        config: AnalyzerConfig | None = None,
+        workdir: str | Path | None = None,
+        rpc_size: int = 4 * MIB,
+    ) -> None:
+        self.client = client or SimulatedExpertLLM()
+        self.config = config or AnalyzerConfig()
+        self.extractor = Extractor(rpc_size=rpc_size)
+        self.analyzer = Analyzer(client=self.client, config=self.config)
+        self._workdir = Path(workdir) if workdir else None
+
+    def _extraction_dir(self, trace_name: str) -> Path:
+        if self._workdir is not None:
+            path = self._workdir / trace_name
+            path.mkdir(parents=True, exist_ok=True)
+            return path
+        return Path(tempfile.mkdtemp(prefix=f"ion-{trace_name}-"))
+
+    def diagnose(self, log: DarshanLog, trace_name: str = "trace") -> IonResult:
+        """Diagnose an in-memory Darshan log."""
+        extraction = self.extractor.extract(log, self._extraction_dir(trace_name))
+        return self._analyze(extraction, trace_name)
+
+    def diagnose_file(self, log_path: str | Path) -> IonResult:
+        """Diagnose a binary Darshan log file."""
+        log_path = Path(log_path)
+        trace_name = log_path.stem
+        extraction = self.extractor.extract_file(
+            log_path, self._extraction_dir(trace_name)
+        )
+        return self._analyze(extraction, trace_name)
+
+    def _analyze(self, extraction: ExtractionResult, trace_name: str) -> IonResult:
+        report = self.analyzer.analyze(extraction, trace_name)
+        session = IonSession(report=report, client=self.client)
+        return IonResult(report=report, extraction=extraction, session=session)

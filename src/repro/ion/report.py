@@ -1,0 +1,67 @@
+"""Text rendering of diagnosis reports (the paper's front-end modals).
+
+The web front end in the paper shows one modal per issue — diagnosis
+steps, the generated analysis code, and the conclusion — plus the
+global summary.  This module renders the same structure as terminal
+text, so the CLI and the examples produce output comparable to
+Figures 2 and 3.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.ion.issues import Diagnosis, DiagnosisReport, Severity
+
+_SEVERITY_BADGE = {
+    Severity.OK: "[ ok ]",
+    Severity.INFO: "[info]",
+    Severity.WARNING: "[WARN]",
+    Severity.CRITICAL: "[CRIT]",
+}
+
+
+def render_diagnosis(diagnosis: Diagnosis, show_code: bool = False) -> str:
+    """Render one issue modal."""
+    out = io.StringIO()
+    badge = _SEVERITY_BADGE[diagnosis.severity]
+    out.write(f"{badge} {diagnosis.issue.title}\n")
+    if diagnosis.steps:
+        out.write("  Diagnosis steps:\n")
+        for number, step in enumerate(diagnosis.steps, start=1):
+            out.write(f"    {number}. {step}\n")
+    if show_code and diagnosis.code:
+        out.write("  Analysis code:\n")
+        for line in diagnosis.code.splitlines():
+            out.write(f"    | {line}\n")
+    out.write(f"  Conclusion: {diagnosis.conclusion}\n")
+    if diagnosis.mitigations:
+        notes = "; ".join(note.title for note in diagnosis.mitigations)
+        out.write(f"  Mitigating context: {notes}\n")
+    return out.getvalue()
+
+
+def render_report(report: DiagnosisReport, show_code: bool = False) -> str:
+    """Render the full report: every modal plus the global summary."""
+    out = io.StringIO()
+    out.write("=" * 72 + "\n")
+    out.write(f"ION diagnosis report — {report.trace_name}\n")
+    out.write("=" * 72 + "\n\n")
+    flagged = [d for d in report.diagnoses if d.detected]
+    informational = [d for d in report.diagnoses if d.observed and not d.detected]
+    clean = [d for d in report.diagnoses if not d.observed]
+    for group, label in (
+        (flagged, "Issues affecting performance"),
+        (informational, "Patterns present but mitigated"),
+        (clean, "Examined and unproblematic"),
+    ):
+        if not group:
+            continue
+        out.write(f"--- {label} ---\n")
+        for diagnosis in group:
+            out.write(render_diagnosis(diagnosis, show_code=show_code))
+            out.write("\n")
+    if report.summary:
+        out.write("--- Global summary ---\n")
+        out.write(report.summary.strip() + "\n")
+    return out.getvalue()

@@ -1,0 +1,106 @@
+"""JSON serialization of diagnosis reports.
+
+The paper's front end renders per-issue modals from the Analyzer's
+output; this module is the API equivalent: a stable JSON encoding of a
+:class:`DiagnosisReport` (and back), so reports can be archived next to
+the trace, diffed between tool versions, or served to a UI.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.ion.issues import (
+    Diagnosis,
+    DiagnosisReport,
+    IssueType,
+    MitigationNote,
+    Severity,
+)
+from repro.util.errors import ReproError
+
+SCHEMA_VERSION = 1
+
+
+def diagnosis_to_dict(diagnosis: Diagnosis) -> dict:
+    """Encode one diagnosis as plain JSON-ready data."""
+    return {
+        "issue": diagnosis.issue.value,
+        "severity": diagnosis.severity.value,
+        "conclusion": diagnosis.conclusion,
+        "steps": list(diagnosis.steps),
+        "code": diagnosis.code,
+        "code_output": diagnosis.code_output,
+        "evidence": diagnosis.evidence,
+        "mitigations": [note.value for note in diagnosis.mitigations],
+    }
+
+
+def diagnosis_from_dict(payload: dict) -> Diagnosis:
+    """Decode one diagnosis; raises ReproError on malformed input."""
+    try:
+        return Diagnosis(
+            issue=IssueType(payload["issue"]),
+            severity=Severity(payload["severity"]),
+            conclusion=str(payload["conclusion"]),
+            steps=[str(step) for step in payload.get("steps", [])],
+            code=str(payload.get("code", "")),
+            code_output=str(payload.get("code_output", "")),
+            evidence=dict(payload.get("evidence", {})),
+            mitigations=[
+                MitigationNote(note) for note in payload.get("mitigations", [])
+            ],
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise ReproError(f"malformed diagnosis payload: {exc}") from exc
+
+
+def report_to_dict(report: DiagnosisReport) -> dict:
+    """Encode a full report."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "trace_name": report.trace_name,
+        "summary": report.summary,
+        "diagnoses": [diagnosis_to_dict(d) for d in report.diagnoses],
+    }
+
+
+def report_from_dict(payload: dict) -> DiagnosisReport:
+    """Decode a full report; raises ReproError on malformed input."""
+    try:
+        version = int(payload.get("schema_version", 0))
+    except (TypeError, ValueError) as exc:
+        raise ReproError("malformed report payload: bad schema version") from exc
+    if version != SCHEMA_VERSION:
+        raise ReproError(
+            f"unsupported report schema version {version} "
+            f"(this build reads {SCHEMA_VERSION})"
+        )
+    try:
+        return DiagnosisReport(
+            trace_name=str(payload["trace_name"]),
+            summary=str(payload.get("summary", "")),
+            diagnoses=[
+                diagnosis_from_dict(item) for item in payload["diagnoses"]
+            ],
+        )
+    except (KeyError, TypeError) as exc:
+        raise ReproError(f"malformed report payload: {exc}") from exc
+
+
+def dump_report(report: DiagnosisReport, path: str | Path) -> Path:
+    """Write a report as JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report_to_dict(report), indent=2, sort_keys=True))
+    return path
+
+
+def load_report(path: str | Path) -> DiagnosisReport:
+    """Read a report written by :func:`dump_report`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{path} is not valid report JSON: {exc}") from exc
+    return report_from_dict(payload)

@@ -1,0 +1,16 @@
+"""I/O simulator: rank clocks, POSIX/STDIO/MPI-IO layers, Darshan runtime."""
+
+from repro.iosim.job import SimulatedJob
+from repro.iosim.mpiio import Contribution, MpiIoLayer
+from repro.iosim.posix import PosixLayer
+from repro.iosim.runtime import DarshanRuntime
+from repro.iosim.stdio import StdioLayer
+
+__all__ = [
+    "Contribution",
+    "DarshanRuntime",
+    "MpiIoLayer",
+    "PosixLayer",
+    "SimulatedJob",
+    "StdioLayer",
+]

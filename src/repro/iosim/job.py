@@ -1,0 +1,108 @@
+"""The simulated MPI job: rank clocks, barriers, and layer factories.
+
+A :class:`SimulatedJob` owns one Lustre filesystem, one Darshan
+runtime, and a wall clock per rank.  Workloads obtain per-rank POSIX or
+STDIO layers (or the communicator-wide MPI-IO layer) from it, drive
+them in SPMD style, and call :meth:`finalize` to obtain the trace.
+"""
+
+from __future__ import annotations
+
+from repro.iosim.runtime import DarshanRuntime
+from repro.lustre.filesystem import LustreConfig, LustreFilesystem
+from repro.util.errors import SimulationError
+
+
+class SimulatedJob:
+    """One parallel application run against the simulated I/O stack."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        fs: LustreFilesystem | None = None,
+        job_id: int = 4000001,
+        executable: str = "simulated_app",
+        enable_dxt: bool = True,
+        metadata: dict[str, str] | None = None,
+    ) -> None:
+        if nprocs <= 0:
+            raise SimulationError(f"nprocs must be positive, got {nprocs}")
+        self.nprocs = nprocs
+        self.fs = fs or LustreFilesystem(LustreConfig())
+        self.runtime = DarshanRuntime(
+            fs=self.fs,
+            nprocs=nprocs,
+            job_id=job_id,
+            executable=executable,
+            enable_dxt=enable_dxt,
+            metadata=metadata,
+        )
+        self.clocks = [0.0] * nprocs
+        self._finalized = False
+        # Layers are created lazily and cached so MPI-IO can reuse the
+        # same POSIX layer (and its fd table) as direct POSIX callers.
+        self._posix_layers: dict[int, object] = {}
+        self._stdio_layers: dict[int, object] = {}
+
+    # -- clock management ----------------------------------------------
+
+    def now(self, rank: int) -> float:
+        """Current wall-clock time of one rank."""
+        return self.clocks[rank]
+
+    def advance(self, rank: int, until: float) -> None:
+        """Move one rank's clock forward (never backward)."""
+        if until < self.clocks[rank] - 1e-12:
+            raise SimulationError(
+                f"clock for rank {rank} would move backward "
+                f"({self.clocks[rank]} -> {until})"
+            )
+        self.clocks[rank] = max(self.clocks[rank], until)
+
+    def compute(self, rank: int, seconds: float) -> None:
+        """Model non-I/O computation on one rank."""
+        if seconds < 0:
+            raise SimulationError("compute time must be non-negative")
+        self.clocks[rank] += seconds
+
+    def barrier(self, ranks: list[int] | None = None) -> float:
+        """Synchronize ranks to the latest clock among them."""
+        members = ranks if ranks is not None else range(self.nprocs)
+        latest = max(self.clocks[rank] for rank in members)
+        for rank in members:
+            self.clocks[rank] = latest
+        return latest
+
+    # -- layer factories -------------------------------------------------
+
+    def posix(self, rank: int):
+        """Per-rank POSIX layer (cached)."""
+        from repro.iosim.posix import PosixLayer
+
+        if rank not in self._posix_layers:
+            self._posix_layers[rank] = PosixLayer(self, rank)
+        return self._posix_layers[rank]
+
+    def stdio(self, rank: int):
+        """Per-rank STDIO layer (cached)."""
+        from repro.iosim.stdio import StdioLayer
+
+        if rank not in self._stdio_layers:
+            self._stdio_layers[rank] = StdioLayer(self, rank)
+        return self._stdio_layers[rank]
+
+    def mpiio(self, **kwargs):
+        """Communicator-wide MPI-IO layer (a new one per call)."""
+        from repro.iosim.mpiio import MpiIoLayer
+
+        return MpiIoLayer(self, **kwargs)
+
+    # -- trace emission ---------------------------------------------------
+
+    def finalize(self):
+        """Close out the job and emit its DarshanLog (idempotent guard)."""
+        if self._finalized:
+            raise SimulationError("job already finalized")
+        self._finalized = True
+        end_time = max(self.clocks) if self.clocks else 0.0
+        return self.runtime.finalize(start_time=0.0, end_time=end_time)

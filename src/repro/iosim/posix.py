@@ -1,0 +1,177 @@
+"""Per-rank POSIX I/O layer over the simulated filesystem.
+
+Mirrors the syscall surface Darshan's POSIX module wraps: ``open``,
+``read``/``write`` (cursor-based), ``pread``/``pwrite`` (positioned),
+``lseek``, ``stat``, ``fsync``, ``close``.  Every call advances the
+rank's clock by the cost the filesystem charges and reports the event
+to the Darshan runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.iosim.job import SimulatedJob
+from repro.lustre.filesystem import Inode
+from repro.util.errors import FilesystemError
+
+
+@dataclass
+class _OpenFile:
+    inode: Inode
+    position: int = 0
+
+
+class PosixLayer:
+    """POSIX syscalls for one rank of a simulated job."""
+
+    def __init__(self, job: SimulatedJob, rank: int) -> None:
+        if not 0 <= rank < job.nprocs:
+            raise FilesystemError(f"rank {rank} out of range (nprocs={job.nprocs})")
+        self.job = job
+        self.rank = rank
+        self._files: dict[int, _OpenFile] = {}
+        self._next_fd = 3  # 0..2 are stdio, as on a real system
+
+    # -- lifecycle ------------------------------------------------------
+
+    def open(
+        self,
+        path: str,
+        create: bool = True,
+        stripe_size: int | None = None,
+        stripe_count: int | None = None,
+    ) -> int:
+        """Open (optionally creating) a file; returns the fd."""
+        start = self.job.now(self.rank)
+        inode, completion = self.job.fs.open(
+            path,
+            start,
+            create=create,
+            stripe_size=stripe_size,
+            stripe_count=stripe_count,
+        )
+        self.job.advance(self.rank, completion)
+        self.job.runtime.posix_open(inode, self.rank, start, completion)
+        fd = self._next_fd
+        self._next_fd += 1
+        self._files[fd] = _OpenFile(inode=inode)
+        return fd
+
+    def close(self, fd: int) -> None:
+        """Close an fd."""
+        open_file = self._lookup(fd)
+        start = self.job.now(self.rank)
+        completion = self.job.fs.close(open_file.inode, start)
+        self.job.advance(self.rank, completion)
+        self.job.runtime.posix_close(open_file.inode, self.rank, start, completion)
+        del self._files[fd]
+
+    # -- data -----------------------------------------------------------
+
+    def pwrite(self, fd: int, length: int, offset: int, mem_aligned: bool = True) -> int:
+        """Positioned write; returns bytes written."""
+        return self._io(fd, "write", offset, length, mem_aligned, advance_cursor=False)
+
+    def pread(self, fd: int, length: int, offset: int, mem_aligned: bool = True) -> int:
+        """Positioned read; returns bytes read."""
+        return self._io(fd, "read", offset, length, mem_aligned, advance_cursor=False)
+
+    def write(self, fd: int, length: int, mem_aligned: bool = True) -> int:
+        """Cursor write at the current file position."""
+        open_file = self._lookup(fd)
+        return self._io(
+            fd, "write", open_file.position, length, mem_aligned, advance_cursor=True
+        )
+
+    def read(self, fd: int, length: int, mem_aligned: bool = True) -> int:
+        """Cursor read at the current file position."""
+        open_file = self._lookup(fd)
+        return self._io(
+            fd, "read", open_file.position, length, mem_aligned, advance_cursor=True
+        )
+
+    # -- metadata ---------------------------------------------------------
+
+    def lseek(self, fd: int, offset: int) -> int:
+        """Reposition the cursor (counted as a seek by Darshan)."""
+        open_file = self._lookup(fd)
+        if offset < 0:
+            raise FilesystemError(f"cannot seek to negative offset {offset}")
+        start = self.job.now(self.rank)
+        completion = start + self.job.fs.config.costs.client_op_overhead
+        self.job.advance(self.rank, completion)
+        self.job.runtime.posix_meta(open_file.inode, self.rank, "seek", start, completion)
+        open_file.position = offset
+        return offset
+
+    def stat(self, path: str) -> None:
+        """Stat a path (MDS round trip)."""
+        start = self.job.now(self.rank)
+        completion = self.job.fs.stat(path, start)
+        self.job.advance(self.rank, completion)
+        inode = self.job.fs.lookup(path)
+        self.job.runtime.posix_meta(inode, self.rank, "stat", start, completion)
+
+    def fsync(self, fd: int) -> None:
+        """Flush a file (charged as one metadata round trip per OST)."""
+        open_file = self._lookup(fd)
+        start = self.job.now(self.rank)
+        costs = self.job.fs.config.costs
+        completion = start + costs.rpc_latency * open_file.inode.layout.stripe_count
+        self.job.advance(self.rank, completion)
+        self.job.runtime.posix_meta(open_file.inode, self.rank, "fsync", start, completion)
+
+    def tell(self, fd: int) -> int:
+        """Current cursor position."""
+        return self._lookup(fd).position
+
+    def inode(self, fd: int) -> Inode:
+        """The inode behind an fd (used by the MPI-IO layer)."""
+        return self._lookup(fd).inode
+
+    # -- internals --------------------------------------------------------
+
+    def _lookup(self, fd: int) -> _OpenFile:
+        try:
+            return self._files[fd]
+        except KeyError:
+            raise FilesystemError(f"bad file descriptor {fd} on rank {self.rank}") from None
+
+    def _io(
+        self,
+        fd: int,
+        operation: str,
+        offset: int,
+        length: int,
+        mem_aligned: bool,
+        advance_cursor: bool,
+    ) -> int:
+        if length < 0:
+            raise FilesystemError(f"{operation} length must be non-negative")
+        open_file = self._lookup(fd)
+        start = self.job.now(self.rank)
+        result = self.job.fs.io(
+            open_file.inode,
+            self.rank,
+            operation,
+            offset,
+            length,
+            start,
+            mem_aligned=mem_aligned,
+        )
+        self.job.advance(self.rank, result.completion)
+        self.job.runtime.posix_io(
+            open_file.inode,
+            self.rank,
+            operation,
+            offset,
+            length,
+            start,
+            result.completion,
+            file_aligned=result.file_aligned,
+            mem_aligned=result.mem_aligned,
+        )
+        if advance_cursor:
+            open_file.position = offset + length
+        return length

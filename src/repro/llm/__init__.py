@@ -1,0 +1,25 @@
+"""LLM substrate: messages, clients, code interpreter, assistants, expert."""
+
+from repro.llm.assistants import Assistant, Run, RunStatus, RunStep, Thread
+from repro.llm.client import LLMClient, ScriptedLLM
+from repro.llm.expert.model import SimulatedExpertLLM
+from repro.llm.interpreter import CodeInterpreter, ExecutionResult
+from repro.llm.messages import CodeCall, Completion, Message, Role, transcript
+
+__all__ = [
+    "Assistant",
+    "CodeCall",
+    "CodeInterpreter",
+    "Completion",
+    "ExecutionResult",
+    "LLMClient",
+    "Message",
+    "Role",
+    "Run",
+    "RunStatus",
+    "RunStep",
+    "ScriptedLLM",
+    "SimulatedExpertLLM",
+    "Thread",
+    "transcript",
+]

@@ -1,0 +1,46 @@
+"""The LLM client protocol and a scripted stand-in for tests.
+
+Production ION talks to GPT-4 through this interface; the reproduction
+ships :class:`~repro.llm.expert.model.SimulatedExpertLLM` as the
+default implementation.  :class:`ScriptedLLM` replays canned
+completions so the orchestration layer can be tested in isolation from
+any model behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.llm.messages import Completion, Message
+from repro.util.errors import LLMError
+
+
+class LLMClient(Protocol):
+    """Anything that can turn a message list into a completion."""
+
+    def complete(self, messages: list[Message]) -> Completion:
+        """Produce the next assistant turn for a conversation."""
+        ...
+
+
+class ScriptedLLM:
+    """Replays a fixed sequence of completions (test double).
+
+    Raises when asked for more turns than were scripted — a test that
+    under-provisions its script has a logic error worth surfacing.
+    """
+
+    def __init__(self, completions: list[Completion]) -> None:
+        self._completions = list(completions)
+        self._cursor = 0
+        self.calls: list[list[Message]] = []
+
+    def complete(self, messages: list[Message]) -> Completion:
+        self.calls.append(list(messages))
+        if self._cursor >= len(self._completions):
+            raise LLMError(
+                f"ScriptedLLM exhausted after {self._cursor} completions"
+            )
+        completion = self._completions[self._cursor]
+        self._cursor += 1
+        return completion

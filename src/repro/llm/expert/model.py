@@ -1,0 +1,263 @@
+"""The simulated GPT-4 I/O expert.
+
+:class:`SimulatedExpertLLM` implements the :class:`LLMClient` protocol
+deterministically.  It reads the prompt the way ION wrote it, selects
+analysis skills based on the *issue contexts present in the prompt*
+(no context → only vacuous generalities, reproducing the paper's
+observation), narrates chain-of-thought steps, emits real analysis
+code, debugs it when an execution fails, and grounds every conclusion
+in the metrics the code printed.
+
+Substitution note: this class stands in for ``gpt-4-1106-preview``.
+What it must get right for the reproduction is the *framework
+behaviour* — prompts in, code-running completions out, conclusions
+derived from measurements — not free-form language ability.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.ion.issues import IssueType
+from repro.llm.expert import narrator
+from repro.llm.expert.attention import ATTENTION_BUDGET_CHARS, attended_issues
+from repro.llm.expert.promptspec import PromptSpec, parse_prompt
+from repro.llm.expert.skills import Verdict, skill_for
+from repro.llm.messages import CodeCall, Completion, Message, Role
+from repro.util.errors import LLMError
+
+_ISSUE_MARKER = "### ISSUE:"
+
+
+class SimulatedExpertLLM:
+    """Deterministic stand-in for the paper's GPT-4 analysis model."""
+
+    def __init__(
+        self,
+        attention_budget: int = ATTENTION_BUDGET_CHARS,
+        max_debug_rounds: int = 2,
+    ) -> None:
+        self.attention_budget = attention_budget
+        self.max_debug_rounds = max_debug_rounds
+
+    # -- LLMClient ------------------------------------------------------
+
+    def complete(self, messages: list[Message]) -> Completion:
+        """Produce the next assistant turn for an ION conversation."""
+        user_index = self._last_user_index(messages)
+        spec = parse_prompt(messages[user_index].content)
+        if spec.kind == "summarize":
+            return Completion(content=narrator.compose_summary(spec))
+        if spec.kind == "question":
+            return Completion(content=narrator.answer_question(spec))
+        return self._diagnose_turn(spec, messages[user_index + 1 :])
+
+    # -- diagnosis flow ----------------------------------------------------
+
+    def _last_user_index(self, messages: list[Message]) -> int:
+        for index in range(len(messages) - 1, -1, -1):
+            if messages[index].role == Role.USER:
+                return index
+        raise LLMError("conversation contains no user message")
+
+    def _diagnose_turn(
+        self, spec: PromptSpec, tail: list[Message]
+    ) -> Completion:
+        issues = attended_issues(spec, self.attention_budget)
+        grounded = [issue for issue in issues if self._grounded(spec, issue)]
+        dropped = [issue for issue in spec.issues if issue not in issues]
+        if not grounded:
+            return self._vacuous_completion(spec)
+        tool_messages = [m for m in tail if m.role == Role.TOOL]
+        if not tool_messages:
+            return self._first_turn(spec, grounded, dropped)
+        last_tool = tool_messages[-1]
+        failures = sum(
+            1 for m in tool_messages if m.content.startswith("[execution error]")
+        )
+        if last_tool.content.startswith("[execution error]"):
+            if failures <= self.max_debug_rounds - 1:
+                return self._debug_turn(spec, grounded, last_tool.content)
+            return Completion(
+                content=self._failure_conclusions(grounded, last_tool.content)
+            )
+        return self._conclusion_turn(spec, grounded, last_tool.content)
+
+    def _grounded(self, spec: PromptSpec, issue: IssueType) -> bool:
+        """Whether the prompt supplies usable domain context for an issue."""
+        context = spec.contexts.get(issue, "")
+        if not context:
+            return False
+        markers = skill_for(issue).context_markers
+        lowered = context.lower()
+        return any(marker.lower() in lowered for marker in markers)
+
+    def _analyzable(self, spec: PromptSpec, issue: IssueType) -> bool:
+        if issue == IssueType.NO_COLLECTIVE:
+            return True  # handles an absent MPI-IO module itself
+        return spec.file_path("POSIX") is not None
+
+    # -- turn builders -----------------------------------------------------
+
+    def _first_turn(
+        self, spec: PromptSpec, issues: list[IssueType], dropped: list[IssueType]
+    ) -> Completion:
+        lines: list[str] = ["Diagnosis Steps:"]
+        step_number = 1
+        code_sections: list[str] = []
+        for issue in issues:
+            skill = skill_for(issue)
+            if not self._analyzable(spec, issue):
+                continue
+            if len(issues) > 1:
+                lines.append(f"[{issue.title}]")
+            for step in skill.steps(spec):
+                lines.append(f"{step_number}. {step}")
+                step_number += 1
+            code_sections.append(
+                f'print("{_ISSUE_MARKER} {issue.value}")\n' + skill.code(spec)
+            )
+        if not code_sections:
+            return self._unanalyzable_completion(spec, issues)
+        lines.append("")
+        lines.append(
+            "I will now run the analysis code over the listed trace files."
+        )
+        metadata: dict[str, object] = {"attended": [i.value for i in issues]}
+        if dropped:
+            metadata["dropped_for_context_budget"] = [i.value for i in dropped]
+        return Completion(
+            content="\n".join(lines),
+            code_call=CodeCall("\n\n".join(code_sections)),
+            metadata=metadata,
+        )
+
+    def _debug_turn(
+        self, spec: PromptSpec, issues: list[IssueType], error_text: str
+    ) -> Completion:
+        sections: list[str] = []
+        for issue in issues:
+            if not self._analyzable(spec, issue):
+                continue
+            skill = skill_for(issue)
+            code = skill.fallback_code(spec) or skill.code(spec)
+            sections.append(f'print("{_ISSUE_MARKER} {issue.value}")\n' + code)
+        if not sections:
+            return Completion(content=self._failure_conclusions(issues, error_text))
+        return Completion(
+            content=(
+                "The previous analysis code failed to execute. I will retry "
+                "with a more defensive variant that relies only on the "
+                "aggregate counters."
+            ),
+            code_call=CodeCall("\n\n".join(sections)),
+            metadata={"debug_retry": True},
+        )
+
+    def _conclusion_turn(
+        self, spec: PromptSpec, issues: list[IssueType], stdout: str
+    ) -> Completion:
+        metrics_by_issue = self._parse_tool_output(stdout, issues)
+        lines: list[str] = []
+        for issue in issues:
+            metrics = metrics_by_issue.get(issue)
+            if metrics is None:
+                lines.append(
+                    f"Conclusion ({issue.title}): the analysis produced no "
+                    "metrics for this issue. [severity=ok]"
+                )
+                continue
+            verdict: Verdict = skill_for(issue).verdict(metrics, spec)
+            tag = f"[severity={verdict.severity.value}]"
+            if verdict.mitigations:
+                notes = ",".join(note.value for note in verdict.mitigations)
+                tag += f" [mitigations={notes}]"
+            lines.append(f"Conclusion ({issue.title}): {verdict.conclusion} {tag}")
+        return Completion(content="\n\n".join(lines))
+
+    def _parse_tool_output(
+        self, stdout: str, issues: list[IssueType]
+    ) -> dict[IssueType, dict]:
+        by_value = {issue.value: issue for issue in issues}
+        result: dict[IssueType, dict] = {}
+        current: IssueType | None = issues[0] if len(issues) == 1 else None
+        for line in stdout.splitlines():
+            line = line.strip()
+            if line.startswith(_ISSUE_MARKER):
+                current = by_value.get(line[len(_ISSUE_MARKER) :].strip())
+                continue
+            if not line.startswith("{"):
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if current is not None:
+                result[current] = payload
+        return result
+
+    # -- degenerate completions ------------------------------------------------
+
+    def _vacuous_completion(self, spec: PromptSpec) -> Completion:
+        """What the model produces without grounded issue context."""
+        files = ", ".join(sorted(spec.files)) or "no trace files"
+        lines = [
+            "The provided trace extracts cover the following modules: "
+            f"{files}. Without domain-specific context describing how each "
+            "I/O issue manifests in these counters, only general guidance "
+            "can be offered: prefer large contiguous transfers, use "
+            "parallel I/O libraries, and consult your facility's I/O "
+            "documentation.",
+        ]
+        for issue in spec.issues:
+            lines.append(
+                f"Conclusion ({issue.title}): no specific diagnosis can be "
+                "made from the trace without further context. [severity=ok]"
+            )
+        return Completion(content="\n\n".join(lines), metadata={"vacuous": True})
+
+    def _unanalyzable_completion(
+        self, spec: PromptSpec, issues: list[IssueType]
+    ) -> Completion:
+        lines = [
+            "The files required for this analysis are not listed in the "
+            "prompt, so no measurement is possible."
+        ]
+        for issue in issues:
+            lines.append(
+                f"Conclusion ({issue.title}): required trace files are "
+                "unavailable; the issue cannot be assessed. [severity=ok]"
+            )
+        return Completion(content="\n\n".join(lines))
+
+    def _failure_conclusions(self, issues: list[IssueType], error: str) -> str:
+        summary = error.splitlines()[-1] if error.splitlines() else "unknown error"
+        lines = [
+            "Analysis code could not be executed successfully even after "
+            f"debugging (last error: {summary})."
+        ]
+        for issue in issues:
+            lines.append(
+                f"Conclusion ({issue.title}): analysis failed; no diagnosis. "
+                "[severity=ok]"
+            )
+        return "\n\n".join(lines)
+
+
+_CONCLUSION_RE = re.compile(
+    r"Conclusion \((?P<title>[^)]+)\):\s*(?P<body>.*?)(?=(?:\n\nConclusion \()|\Z)",
+    flags=re.DOTALL,
+)
+
+
+def parse_conclusions(text: str) -> dict[str, str]:
+    """Split a diagnosis completion into per-issue conclusion bodies.
+
+    Shared with the ION analyzer, which must parse completions exactly
+    the way real ION parses GPT-4 output.
+    """
+    return {
+        match.group("title").strip(): match.group("body").strip()
+        for match in _CONCLUSION_RE.finditer(text)
+    }

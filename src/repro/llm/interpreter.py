@@ -1,0 +1,152 @@
+"""Sandboxed code interpreter for model-generated analysis code.
+
+The Assistants API gives GPT-4 a Python sandbox; ION relies on it to
+"write/run analysis code, and reason over the results".  This is the
+local equivalent: it executes one code string at a time in a restricted
+namespace, captures stdout, and renders exceptions as the traceback
+text the model sees on a failed run (driving the debug-retry loop).
+
+The sandbox is *containment against accidents*, not a security
+boundary: dangerous builtins (``eval``, ``exec``, ``__import__`` of
+arbitrary modules) are removed, imports are allow-listed to the data
+analysis standard library, and file access is restricted to a working
+directory.
+"""
+
+from __future__ import annotations
+
+import builtins
+import csv
+import io
+import json
+import math
+import statistics
+import traceback
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.util.errors import CodeInterpreterError
+
+#: Modules generated analysis code may import.
+ALLOWED_MODULES = {
+    "csv": csv,
+    "json": json,
+    "math": math,
+    "statistics": statistics,
+    "collections": __import__("collections"),
+    "itertools": __import__("itertools"),
+    "re": __import__("re"),
+}
+
+_BLOCKED_BUILTINS = {
+    "eval",
+    "exec",
+    "compile",
+    "input",
+    "exit",
+    "quit",
+    "breakpoint",
+    "globals",
+    "locals",
+    "vars",
+    "memoryview",
+    "__import__",
+}
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one sandbox run."""
+
+    stdout: str
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.error
+
+
+class CodeInterpreter:
+    """Executes model-generated Python over files in one directory."""
+
+    def __init__(self, workdir: str | Path, output_limit: int = 200_000) -> None:
+        self.workdir = Path(workdir)
+        self._output_limit = output_limit
+
+    def _guarded_import(self, name, globals=None, locals=None, fromlist=(), level=0):
+        root = name.split(".")[0]
+        if root not in ALLOWED_MODULES:
+            raise ImportError(
+                f"module {name!r} is not available in the analysis sandbox"
+            )
+        return ALLOWED_MODULES[root]
+
+    def _guarded_open(self, file, mode="r", *args, **kwargs):
+        if any(flag in mode for flag in ("w", "a", "+", "x")):
+            raise PermissionError("the analysis sandbox is read-only")
+        path = Path(file)
+        if not path.is_absolute():
+            path = self.workdir / path
+        resolved = path.resolve()
+        if not resolved.is_relative_to(self.workdir.resolve()):
+            raise PermissionError(
+                f"{file!r} is outside the analysis working directory"
+            )
+        return open(resolved, mode, *args, **kwargs)
+
+    def _namespace(self, stdout: io.StringIO) -> dict[str, object]:
+        safe_builtins = {
+            name: getattr(builtins, name)
+            for name in dir(builtins)
+            if not name.startswith("_") and name not in _BLOCKED_BUILTINS
+        }
+        safe_builtins["open"] = self._guarded_open
+        safe_builtins["__import__"] = self._guarded_import
+
+        # A buffer-bound print keeps concurrent interpreter runs isolated
+        # (redirecting the process-wide sys.stdout would race across the
+        # analyzer's parallel prompt threads).
+        def sandbox_print(*args, sep=" ", end="\n", file=None, flush=False):
+            target = file if file is not None else stdout
+            target.write(sep.join(str(a) for a in args) + end)
+
+        safe_builtins["print"] = sandbox_print
+        return {
+            "__builtins__": safe_builtins,
+            "__name__": "__analysis__",
+            "csv": csv,
+            "json": json,
+            "math": math,
+            "statistics": statistics,
+            "Counter": Counter,
+            "defaultdict": defaultdict,
+            "WORKDIR": str(self.workdir),
+        }
+
+    def run(self, code: str) -> ExecutionResult:
+        """Execute ``code``; never raises for in-code errors."""
+        stdout = io.StringIO()
+        namespace = self._namespace(stdout)
+        try:
+            compiled = compile(code, "<analysis>", "exec")
+        except SyntaxError:
+            return ExecutionResult(stdout="", error=traceback.format_exc(limit=1))
+        try:
+            exec(compiled, namespace)  # noqa: S102 - that is the point
+        except BaseException:
+            trace = traceback.format_exc(limit=8)
+            return ExecutionResult(stdout=self._clip(stdout.getvalue()), error=trace)
+        return ExecutionResult(stdout=self._clip(stdout.getvalue()))
+
+    def run_or_raise(self, code: str) -> str:
+        """Execute ``code`` and return stdout; raise on failure."""
+        result = self.run(code)
+        if not result.ok:
+            raise CodeInterpreterError(result.error)
+        return result.stdout
+
+    def _clip(self, text: str) -> str:
+        if len(text) <= self._output_limit:
+            return text
+        return text[: self._output_limit] + "\n... [output truncated]"

@@ -1,0 +1,77 @@
+"""Message and completion models for the LLM substrate.
+
+The shapes mirror the OpenAI Assistants API surface the paper uses:
+conversations are lists of role-tagged messages; a completion may carry
+a **code-interpreter tool call** which the harness executes, feeding
+the output back as a ``tool`` message before asking the model to
+continue.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Role(enum.Enum):
+    """Chat roles."""
+
+    SYSTEM = "system"
+    USER = "user"
+    ASSISTANT = "assistant"
+    TOOL = "tool"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One chat message."""
+
+    role: Role
+    content: str
+
+    @staticmethod
+    def system(content: str) -> "Message":
+        return Message(Role.SYSTEM, content)
+
+    @staticmethod
+    def user(content: str) -> "Message":
+        return Message(Role.USER, content)
+
+    @staticmethod
+    def assistant(content: str) -> "Message":
+        return Message(Role.ASSISTANT, content)
+
+    @staticmethod
+    def tool(content: str) -> "Message":
+        return Message(Role.TOOL, content)
+
+
+@dataclass(frozen=True)
+class CodeCall:
+    """A request from the model to run Python in the code interpreter."""
+
+    code: str
+
+
+@dataclass
+class Completion:
+    """One model turn: text, and optionally a code-interpreter call."""
+
+    content: str
+    code_call: CodeCall | None = None
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def wants_tool(self) -> bool:
+        """Whether the harness must run code before the turn is final."""
+        return self.code_call is not None
+
+
+def transcript(messages: list[Message]) -> str:
+    """Render a message list for debugging and tests."""
+    lines = []
+    for message in messages:
+        lines.append(f"[{message.role.value}]")
+        lines.append(message.content)
+        lines.append("")
+    return "\n".join(lines)

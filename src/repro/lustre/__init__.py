@@ -1,0 +1,20 @@
+"""Lustre substrate: striping layout, extent locks, server cost models."""
+
+from repro.lustre.filesystem import Inode, IoResult, LustreConfig, LustreFilesystem
+from repro.lustre.layout import StripeChunk, StripeLayout
+from repro.lustre.locks import ExtentLockManager, LockStats
+from repro.lustre.ost import MetadataServer, OstArray, ServerCosts
+
+__all__ = [
+    "ExtentLockManager",
+    "Inode",
+    "IoResult",
+    "LockStats",
+    "LustreConfig",
+    "LustreFilesystem",
+    "MetadataServer",
+    "OstArray",
+    "ServerCosts",
+    "StripeChunk",
+    "StripeLayout",
+]

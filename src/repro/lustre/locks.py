@@ -1,0 +1,88 @@
+"""A simplified LDLM-style extent lock manager.
+
+Lustre serializes conflicting access to a stripe through distributed
+extent locks granted by each OST.  When a client touches a stripe whose
+lock is held by a different client, the holder's lock must be revoked
+(a round trip plus cache flush).  ION never *sees* this component — it
+diagnoses contention from the trace alone — but the lock manager makes
+shared-file contention *cost time*, so time/variance counters in the
+trace reflect the pathology the way a real system's would.
+
+The model: one lock per (file, stripe).  A lock is held by a set of
+ranks; reads share, writes are exclusive.  Acquiring a write lock on a
+stripe held by other ranks (or a read lock on a write-held stripe)
+counts one conflict per displaced holder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class _StripeLock:
+    readers: set[int] = field(default_factory=set)
+    writer: int | None = None
+
+
+@dataclass
+class LockStats:
+    """Counters the cost model and tests read back."""
+
+    acquisitions: int = 0
+    conflicts: int = 0
+    revocations: int = 0
+
+
+class ExtentLockManager:
+    """Per-file stripe lock table with conflict accounting."""
+
+    def __init__(self) -> None:
+        self._tables: dict[int, dict[int, _StripeLock]] = {}
+        self.stats = LockStats()
+
+    def _lock(self, file_id: int, stripe: int) -> _StripeLock:
+        table = self._tables.setdefault(file_id, {})
+        return table.setdefault(stripe, _StripeLock())
+
+    def acquire(self, file_id: int, stripe: int, rank: int, write: bool) -> int:
+        """Acquire a stripe lock for ``rank``; return revocations needed.
+
+        The returned count is how many other holders had to be displaced
+        — the caller charges a revocation round trip for each.
+        """
+        lock = self._lock(file_id, stripe)
+        self.stats.acquisitions += 1
+        revoked = 0
+        if write:
+            if lock.writer is not None and lock.writer != rank:
+                revoked += 1
+                lock.writer = None
+            others = lock.readers - {rank}
+            revoked += len(others)
+            lock.readers.clear()
+            lock.writer = rank
+        else:
+            if lock.writer is not None and lock.writer != rank:
+                revoked += 1
+                lock.writer = None
+            lock.readers.add(rank)
+        if revoked:
+            self.stats.conflicts += 1
+            self.stats.revocations += revoked
+        return revoked
+
+    def release_all(self, file_id: int) -> None:
+        """Drop every lock on one file (called at last close)."""
+        self._tables.pop(file_id, None)
+
+    def holders(self, file_id: int, stripe: int) -> set[int]:
+        """Ranks currently holding the stripe (readers plus writer)."""
+        table = self._tables.get(file_id, {})
+        lock = table.get(stripe)
+        if lock is None:
+            return set()
+        held = set(lock.readers)
+        if lock.writer is not None:
+            held.add(lock.writer)
+        return held

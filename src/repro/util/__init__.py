@@ -1,0 +1,64 @@
+"""Shared utilities: units, ids, streaming stats, CSV I/O, errors."""
+
+from repro.util.console import suppress_broken_pipe
+from repro.util.errors import (
+    AnalysisError,
+    CodeInterpreterError,
+    DarshanFormatError,
+    DarshanValidationError,
+    ExtractionError,
+    FilesystemError,
+    LLMError,
+    PromptFormatError,
+    ReproError,
+    SimulationError,
+    WorkloadConfigError,
+)
+from repro.util.ids import file_record_id, short_id
+from repro.util.stats import (
+    CommonValueTracker,
+    RunningStats,
+    SizeHistogram,
+    gini_coefficient,
+    size_bin_index,
+)
+from repro.util.units import (
+    GIB,
+    KIB,
+    MIB,
+    TIB,
+    format_count,
+    format_percent,
+    format_size,
+    parse_size,
+)
+
+__all__ = [
+    "AnalysisError",
+    "CodeInterpreterError",
+    "CommonValueTracker",
+    "DarshanFormatError",
+    "DarshanValidationError",
+    "ExtractionError",
+    "FilesystemError",
+    "GIB",
+    "KIB",
+    "LLMError",
+    "MIB",
+    "PromptFormatError",
+    "ReproError",
+    "RunningStats",
+    "SimulationError",
+    "SizeHistogram",
+    "TIB",
+    "WorkloadConfigError",
+    "file_record_id",
+    "format_count",
+    "format_percent",
+    "format_size",
+    "gini_coefficient",
+    "parse_size",
+    "short_id",
+    "size_bin_index",
+    "suppress_broken_pipe",
+]

@@ -1,0 +1,34 @@
+"""Console-entry helpers shared by every CLI."""
+
+from __future__ import annotations
+
+import os
+import sys
+from functools import wraps
+from typing import Callable
+
+
+def suppress_broken_pipe(main: Callable[..., int]) -> Callable[..., int]:
+    """Make a CLI entry point well-behaved under ``| head``.
+
+    When the downstream reader closes the pipe, Python raises
+    BrokenPipeError mid-print; the Unix convention is to exit quietly.
+    stdout is redirected to /dev/null before interpreter shutdown so the
+    final implicit flush cannot raise again.
+    """
+
+    @wraps(main)
+    def wrapper(*args, **kwargs) -> int:
+        try:
+            return main(*args, **kwargs)
+        except BrokenPipeError:
+            try:
+                devnull = os.open(os.devnull, os.O_WRONLY)
+                os.dup2(devnull, sys.stdout.fileno())
+            except Exception:  # noqa: BLE001 - any failure means "give up quietly"
+                # stdout may be a non-file object (test capture); there
+                # is nothing left worth flushing either way.
+                sys.stdout = open(os.devnull, "w")  # noqa: SIM115
+            return 0
+
+    return wrapper

@@ -1,0 +1,53 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers embedding the library can catch one base class.  Subsystems add
+narrower classes for failures a caller may plausibly want to distinguish
+(e.g. retrying a truncated log read vs. rejecting a malformed prompt).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DarshanFormatError(ReproError):
+    """A Darshan log file is malformed, truncated, or the wrong version."""
+
+
+class DarshanValidationError(ReproError):
+    """A Darshan log violates a counter invariant (bug in the producer)."""
+
+
+class SimulationError(ReproError):
+    """The I/O simulator was driven into an invalid state."""
+
+
+class FilesystemError(SimulationError):
+    """A simulated filesystem operation failed (bad fd, bad offset, ...)."""
+
+
+class WorkloadConfigError(ReproError):
+    """A workload was configured with inconsistent parameters."""
+
+
+class LLMError(ReproError):
+    """Base class for failures in the LLM substrate."""
+
+
+class PromptFormatError(LLMError):
+    """A prompt could not be parsed into a structured request."""
+
+
+class CodeInterpreterError(LLMError):
+    """Generated analysis code failed even after debug retries."""
+
+
+class ExtractionError(ReproError):
+    """The ION extractor could not derive CSV files from a trace."""
+
+
+class AnalysisError(ReproError):
+    """The ION analyzer failed to produce a diagnosis."""

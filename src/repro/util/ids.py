@@ -1,0 +1,21 @@
+"""Stable identifiers for files and traces.
+
+Darshan identifies each file by a 64-bit hash of its path (it uses
+a C hash; we use truncated SHA-1, which has the same properties the
+consumers rely on: stable across runs, collision-unlikely, opaque).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def file_record_id(path: str) -> int:
+    """Return the stable 64-bit record id Darshan would assign to ``path``."""
+    digest = hashlib.sha1(path.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+def short_id(record_id: int) -> str:
+    """Render a record id the way our parser output prints it."""
+    return f"{record_id:016x}"

@@ -1,0 +1,95 @@
+"""Byte-size parsing and human-readable formatting.
+
+HPC I/O tooling talks in binary units (a Lustre stripe is "1 MiB", an
+RPC is "4 MiB"), while benchmark configs are written with loose suffixes
+("2k", "1MB").  This module gives one canonical conversion in each
+direction so sizes never drift between subsystems.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+
+_SUFFIXES = {
+    "": 1,
+    "b": 1,
+    "k": KIB,
+    "kb": KIB,
+    "kib": KIB,
+    "m": MIB,
+    "mb": MIB,
+    "mib": MIB,
+    "g": GIB,
+    "gb": GIB,
+    "gib": GIB,
+    "t": TIB,
+    "tb": TIB,
+    "tib": TIB,
+}
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a size like ``"2k"``, ``"1MiB"``, ``"4 MB"`` or ``4096``.
+
+    Suffixes are case-insensitive and binary (``1 MB == 1 MiB == 2**20``),
+    matching how IOR and Lustre documentation use them.
+
+    >>> parse_size("2k")
+    2048
+    >>> parse_size("4 MiB")
+    4194304
+    >>> parse_size(512)
+    512
+    """
+    if isinstance(text, int):
+        if text < 0:
+            raise ValueError(f"size must be non-negative, got {text}")
+        return text
+    cleaned = text.strip().lower().replace(" ", "")
+    digits = cleaned
+    suffix = ""
+    for i, ch in enumerate(cleaned):
+        if not (ch.isdigit() or ch == "."):
+            digits, suffix = cleaned[:i], cleaned[i:]
+            break
+    if not digits:
+        raise ValueError(f"cannot parse size {text!r}")
+    try:
+        multiplier = _SUFFIXES[suffix]
+    except KeyError:
+        raise ValueError(f"unknown size suffix {suffix!r} in {text!r}") from None
+    value = float(digits) * multiplier
+    if value < 0:
+        raise ValueError(f"size must be non-negative, got {text!r}")
+    return int(value)
+
+
+def format_size(num_bytes: int | float) -> str:
+    """Render a byte count with the largest suffix that keeps it >= 1.
+
+    >>> format_size(4 * MIB)
+    '4.00 MiB'
+    >>> format_size(512)
+    '512 B'
+    """
+    if num_bytes < 0:
+        raise ValueError(f"size must be non-negative, got {num_bytes}")
+    if num_bytes < KIB:
+        return f"{int(num_bytes)} B"
+    for suffix, scale in (("TiB", TIB), ("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if num_bytes >= scale:
+            return f"{num_bytes / scale:.2f} {suffix}"
+    raise AssertionError("unreachable")
+
+
+def format_count(count: int | float) -> str:
+    """Render a count with thousands separators (``12_345`` -> ``"12,345"``)."""
+    return f"{int(count):,}"
+
+
+def format_percent(fraction: float, digits: int = 2) -> str:
+    """Render a 0..1 fraction as a percentage string (``0.998`` -> ``"99.80%"``)."""
+    return f"{fraction * 100:.{digits}f}%"

@@ -1,0 +1,40 @@
+"""Workload suite: IO500-style benchmarks and real-application replays."""
+
+from repro.workloads.base import GroundTruth, TraceBundle, Workload, scaled
+from repro.workloads.e2e import E2eBaseline, E2eConfig, E2eOptimized
+from repro.workloads.ior import IOR_HARD_TRANSFER, IorConfig, IorWorkload
+from repro.workloads.mdworkbench import MdWorkbenchConfig, MdWorkbenchWorkload
+from repro.workloads.openpmd import OpenPmdBaseline, OpenPmdConfig, OpenPmdOptimized
+from repro.workloads.stdio_logger import StdioLoggerConfig, StdioLoggerWorkload
+from repro.workloads.registry import (
+    EXTRA_WORKLOADS,
+    FIGURE2_WORKLOADS,
+    FIGURE3_WORKLOADS,
+    make_workload,
+    workload_names,
+)
+
+__all__ = [
+    "E2eBaseline",
+    "E2eConfig",
+    "E2eOptimized",
+    "EXTRA_WORKLOADS",
+    "FIGURE2_WORKLOADS",
+    "FIGURE3_WORKLOADS",
+    "GroundTruth",
+    "IOR_HARD_TRANSFER",
+    "IorConfig",
+    "IorWorkload",
+    "MdWorkbenchConfig",
+    "MdWorkbenchWorkload",
+    "OpenPmdBaseline",
+    "OpenPmdConfig",
+    "OpenPmdOptimized",
+    "StdioLoggerConfig",
+    "StdioLoggerWorkload",
+    "TraceBundle",
+    "Workload",
+    "make_workload",
+    "scaled",
+    "workload_names",
+]

@@ -1,0 +1,74 @@
+"""Workload framework: ground-truth labels and the run protocol.
+
+Every workload produces a :class:`TraceBundle`: the Darshan log of a
+simulated run plus the :class:`GroundTruth` of which issues were
+deliberately injected.  The evaluation layer scores tool output against
+these labels, mirroring the paper's "controlled traces with known
+ground-truth issues" methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.darshan.log import DarshanLog
+from repro.ion.issues import IssueType, MitigationNote
+from repro.util.errors import WorkloadConfigError
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """The issues a workload injects, and their softening conditions."""
+
+    issues: frozenset[IssueType]
+    mitigations: frozenset[MitigationNote] = frozenset()
+    description: str = ""
+
+    @staticmethod
+    def of(
+        issues: set[IssueType],
+        mitigations: set[MitigationNote] | None = None,
+        description: str = "",
+    ) -> "GroundTruth":
+        """Convenience constructor from plain sets."""
+        return GroundTruth(
+            issues=frozenset(issues),
+            mitigations=frozenset(mitigations or set()),
+            description=description,
+        )
+
+
+@dataclass
+class TraceBundle:
+    """One generated trace with its labels."""
+
+    name: str
+    log: DarshanLog
+    truth: GroundTruth
+    parameters: dict[str, object] = field(default_factory=dict)
+
+
+class Workload(Protocol):
+    """A synthetic application that can be run against the simulator."""
+
+    name: str
+
+    def run(self, scale: float = 1.0) -> TraceBundle:
+        """Execute the workload and return its trace + ground truth."""
+        ...
+
+
+def scaled(count: int, scale: float, minimum: int = 1) -> int:
+    """Scale an op count, never below ``minimum``.
+
+    Workloads default to the paper's operation counts; tests pass small
+    ``scale`` values so suites stay fast, and the ratios the analyses
+    measure (percent small, percent misaligned, ...) are scale-free.
+    """
+    if scale <= 0:
+        raise WorkloadConfigError(f"scale must be positive, got {scale}")
+    return max(minimum, round(count * scale))
+
+
+WorkloadFactory = Callable[..., Workload]

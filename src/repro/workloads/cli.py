@@ -1,0 +1,87 @@
+"""``iogen`` command line: generate labelled Darshan traces to disk.
+
+The evaluation needs controlled traces with known issues; this tool
+makes them available outside the Python API so the ``ion`` and
+``drishti-repro`` CLIs have something to chew on::
+
+    iogen --list
+    iogen ior-hard /tmp/hard.darshan --scale 0.05
+    ion /tmp/hard.darshan
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.darshan.binformat import write_log
+from repro.util.console import suppress_broken_pipe
+from repro.util.errors import ReproError
+from repro.workloads.registry import make_workload, workload_names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="iogen",
+        description="Generate a labelled synthetic Darshan trace.",
+    )
+    parser.add_argument(
+        "workload", nargs="?", choices=workload_names(),
+        help="registered workload name",
+    )
+    parser.add_argument("output", nargs="?", help="path for the binary trace")
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="operation-count scale factor (default 1.0 = paper scale)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered workloads"
+    )
+    parser.add_argument(
+        "--truth", action="store_true",
+        help="also print the injected ground-truth labels as JSON",
+    )
+    return parser
+
+
+@suppress_broken_pipe
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in workload_names():
+            print(name)
+        return 0
+    if not args.workload or not args.output:
+        parser.error("workload and output are required (or use --list)")
+    try:
+        bundle = make_workload(args.workload).run(scale=args.scale)
+        path = write_log(bundle.log, args.output)
+    except (ReproError, OSError) as exc:
+        print(f"iogen: error: {exc}", file=sys.stderr)
+        return 1
+    print(f"wrote {path}")
+    print(
+        f"  nprocs={bundle.log.job.nprocs} "
+        f"posix_records={len(bundle.log.records_for('POSIX'))} "
+        f"dxt_segments={len(bundle.log.dxt_segments)}"
+    )
+    if args.truth:
+        print(
+            json.dumps(
+                {
+                    "issues": sorted(i.value for i in bundle.truth.issues),
+                    "mitigations": sorted(
+                        m.value for m in bundle.truth.mitigations
+                    ),
+                    "description": bundle.truth.description,
+                },
+                indent=2,
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

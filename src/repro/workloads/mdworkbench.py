@@ -1,0 +1,104 @@
+"""MD-Workbench-style metadata-heavy workload.
+
+MD-Workbench stresses the metadata path: each rank iterates over a
+working set of many small per-object files, repeatedly stat-ing,
+opening, reading and rewriting a small object at the same offset, and
+closing again.  The injected ground-truth issue is excessive metadata
+load (plus the repetitive small I/O the paper's output calls out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ion.issues import IssueType
+from repro.iosim.job import SimulatedJob
+from repro.lustre.filesystem import LustreConfig, LustreFilesystem
+from repro.util.errors import WorkloadConfigError
+from repro.util.units import KIB
+from repro.workloads.base import GroundTruth, TraceBundle, scaled
+
+
+@dataclass
+class MdWorkbenchConfig:
+    """Parameters of the metadata benchmark."""
+
+    nprocs: int = 4
+    files_per_rank: int = 64
+    iterations: int = 20
+    object_size: int = 3901  # MD-Workbench's odd default object size
+    precreate: bool = True
+    directory: str = "/lustre/mdwb"
+
+    def __post_init__(self) -> None:
+        if min(self.nprocs, self.files_per_rank, self.iterations) <= 0:
+            raise WorkloadConfigError("all MD-Workbench counts must be positive")
+        if self.object_size <= 0 or self.object_size > 64 * KIB:
+            raise WorkloadConfigError(
+                "object_size must be a small object (0 < size <= 64 KiB)"
+            )
+
+
+@dataclass
+class MdWorkbenchWorkload:
+    """One MD-Workbench run."""
+
+    config: MdWorkbenchConfig = field(default_factory=MdWorkbenchConfig)
+    name: str = "md-workbench"
+    fs_config: LustreConfig = field(default_factory=LustreConfig)
+
+    def run(self, scale: float = 1.0) -> TraceBundle:
+        """Execute the benchmark and return its trace + ground truth."""
+        cfg = self.config
+        files = scaled(cfg.files_per_rank, scale, minimum=4)
+        iterations = scaled(cfg.iterations, scale, minimum=2)
+        fs = LustreFilesystem(self.fs_config)
+        job = SimulatedJob(
+            nprocs=cfg.nprocs,
+            fs=fs,
+            executable="md-workbench",
+            metadata={"workload": self.name},
+        )
+        paths = {
+            rank: [
+                f"{cfg.directory}/rank{rank:04d}/obj{index:06d}"
+                for index in range(files)
+            ]
+            for rank in range(cfg.nprocs)
+        }
+        if cfg.precreate:
+            for rank in range(cfg.nprocs):
+                posix = job.posix(rank)
+                for path in paths[rank]:
+                    fd = posix.open(path, stripe_count=1)
+                    posix.pwrite(fd, cfg.object_size, 0)
+                    posix.close(fd)
+            job.barrier()
+        for _ in range(iterations):
+            for rank in range(cfg.nprocs):
+                posix = job.posix(rank)
+                for path in paths[rank]:
+                    posix.stat(path)
+                    fd = posix.open(path, create=False)
+                    posix.pread(fd, cfg.object_size, 0)
+                    posix.pwrite(fd, cfg.object_size, 0)
+                    posix.close(fd)
+        log = job.finalize()
+        truth = GroundTruth.of(
+            {IssueType.SMALL_IO, IssueType.METADATA_LOAD, IssueType.NO_MPIIO},
+            description=(
+                "Excessive metadata requests; repeated small reads and writes "
+                "to many files at the same offset."
+            ),
+        )
+        return TraceBundle(
+            name=self.name,
+            log=log,
+            truth=truth,
+            parameters={
+                "nprocs": cfg.nprocs,
+                "files_per_rank": files,
+                "iterations": iterations,
+                "object_size": cfg.object_size,
+            },
+        )

@@ -1,0 +1,142 @@
+"""Named catalog of the paper's trace configurations.
+
+``FIGURE2_WORKLOADS`` are the six IO500-derived controlled traces of
+Figure 2; ``FIGURE3_WORKLOADS`` are the four real-application replays
+of Figure 3.  :func:`make_workload` builds a fresh workload instance by
+name, with the paper's parameters baked in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.util.units import KIB, MIB
+from repro.workloads.base import Workload
+from repro.workloads.e2e import E2eBaseline, E2eOptimized
+from repro.workloads.ior import IOR_HARD_TRANSFER, IorConfig, IorWorkload
+from repro.workloads.mdworkbench import MdWorkbenchConfig, MdWorkbenchWorkload
+from repro.workloads.openpmd import OpenPmdBaseline, OpenPmdOptimized
+from repro.workloads.stdio_logger import StdioLoggerWorkload
+
+
+def _ior_easy_2k_shared() -> Workload:
+    return IorWorkload(
+        config=IorConfig(
+            mode="easy", api="POSIX", nprocs=4, transfer_size=2 * KIB,
+            segments=1024, file_per_process=False,
+            file_name="/lustre/ior-easy/ior_file_easy",
+        ),
+        name="ior-easy-2k-shared",
+    )
+
+
+def _ior_easy_1m_shared() -> Workload:
+    return IorWorkload(
+        config=IorConfig(
+            mode="easy", api="POSIX", nprocs=4, transfer_size=MIB,
+            segments=1024, file_per_process=False,
+            file_name="/lustre/ior-easy/ior_file_easy",
+        ),
+        name="ior-easy-1m-shared",
+    )
+
+
+def _ior_easy_1m_fpp() -> Workload:
+    return IorWorkload(
+        config=IorConfig(
+            mode="easy", api="POSIX", nprocs=4, transfer_size=MIB,
+            segments=1024, file_per_process=True,
+            file_name="/lustre/ior-easy/ior_file_easy",
+        ),
+        name="ior-easy-1m-fpp",
+    )
+
+
+def _ior_hard() -> Workload:
+    return IorWorkload(
+        config=IorConfig(
+            mode="hard", api="POSIX", nprocs=4,
+            transfer_size=IOR_HARD_TRANSFER, segments=100_000,
+            file_name="/lustre/ior-hard/IOR_file",
+        ),
+        name="ior-hard",
+    )
+
+
+def _ior_rnd4k() -> Workload:
+    return IorWorkload(
+        config=IorConfig(
+            mode="random", api="POSIX", nprocs=4, transfer_size=4 * KIB,
+            segments=35_900, file_name="/lustre/ior-rnd/IOR_file_random",
+        ),
+        name="ior-rnd4k",
+    )
+
+
+def _md_workbench() -> Workload:
+    return MdWorkbenchWorkload(config=MdWorkbenchConfig())
+
+
+def _ior_easy_mixed() -> Workload:
+    """Bulk 2 MiB transfers with a 64 KiB bookkeeping record every 4th
+    op — a fractional small-I/O ratio (25%) that exposes the ratio
+    dimension of Drishti's thresholds (ABL3)."""
+    return IorWorkload(
+        config=IorConfig(
+            mode="easy", api="POSIX", nprocs=4, transfer_size=2 * MIB,
+            minor_transfer_size=64 * KIB, minor_every=4, segments=512,
+            file_per_process=True,
+            file_name="/lustre/ior-mixed/ior_file_mixed",
+        ),
+        name="ior-easy-mixed",
+    )
+
+
+_FACTORIES: dict[str, Callable[[], Workload]] = {
+    "ior-easy-2k-shared": _ior_easy_2k_shared,
+    "ior-easy-1m-shared": _ior_easy_1m_shared,
+    "ior-easy-1m-fpp": _ior_easy_1m_fpp,
+    "ior-hard": _ior_hard,
+    "ior-rnd4k": _ior_rnd4k,
+    "md-workbench": _md_workbench,
+    "ior-easy-mixed": _ior_easy_mixed,
+    "stdio-logger": StdioLoggerWorkload,
+    "openpmd-baseline": OpenPmdBaseline,
+    "openpmd-optimized": OpenPmdOptimized,
+    "e2e-baseline": E2eBaseline,
+    "e2e-optimized": E2eOptimized,
+}
+
+FIGURE2_WORKLOADS: tuple[str, ...] = (
+    "ior-easy-2k-shared",
+    "ior-easy-1m-shared",
+    "ior-easy-1m-fpp",
+    "ior-hard",
+    "ior-rnd4k",
+    "md-workbench",
+)
+
+FIGURE3_WORKLOADS: tuple[str, ...] = (
+    "openpmd-baseline",
+    "openpmd-optimized",
+    "e2e-baseline",
+    "e2e-optimized",
+)
+
+#: Workloads beyond the paper's figures (ablation/extension material).
+EXTRA_WORKLOADS: tuple[str, ...] = ("ior-easy-mixed", "stdio-logger")
+
+
+def workload_names() -> list[str]:
+    """Every registered workload name."""
+    return list(_FACTORIES)
+
+
+def make_workload(name: str) -> Workload:
+    """Build a fresh workload instance by registry name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_FACTORIES))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+    return factory()

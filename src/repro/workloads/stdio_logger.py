@@ -1,0 +1,100 @@
+"""A checkpoint-plus-logging workload exercising the STDIO path.
+
+Models a common pattern in simulation codes: every rank periodically
+writes a binary checkpoint slab through POSIX, while rank 0 also keeps
+an application log updated through buffered stdio (`fprintf`-style
+small records).  The stdio stream moves a significant share of the
+bytes, which is exactly what Drishti's STDIO trigger exists to flag;
+the POSIX side injects the usual multi-rank-without-MPI-IO issue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ion.issues import IssueType, MitigationNote
+from repro.iosim.job import SimulatedJob
+from repro.lustre.filesystem import LustreConfig, LustreFilesystem
+from repro.util.errors import WorkloadConfigError
+from repro.util.units import KIB, MIB
+from repro.workloads.base import GroundTruth, TraceBundle, scaled
+
+
+@dataclass
+class StdioLoggerConfig:
+    """Parameters of the checkpoint/logger mix."""
+
+    nprocs: int = 4
+    checkpoints: int = 8
+    checkpoint_size: int = MIB  # per rank per checkpoint, via POSIX
+    log_records_per_step: int = 2000
+    log_record_size: int = 512  # diagnostic record lines
+    log_path: str = "/lustre/run/app.log"
+    checkpoint_path: str = "/lustre/run/checkpoint.dat"
+
+    def __post_init__(self) -> None:
+        if min(self.nprocs, self.checkpoints, self.log_records_per_step) <= 0:
+            raise WorkloadConfigError("all stdio-logger counts must be positive")
+        if self.log_record_size <= 0 or self.checkpoint_size <= 0:
+            raise WorkloadConfigError("sizes must be positive")
+
+
+@dataclass
+class StdioLoggerWorkload:
+    """One checkpoint/logger run."""
+
+    config: StdioLoggerConfig = field(default_factory=StdioLoggerConfig)
+    name: str = "stdio-logger"
+    fs_config: LustreConfig = field(default_factory=LustreConfig)
+
+    def run(self, scale: float = 1.0) -> TraceBundle:
+        """Execute the run and return its labelled trace."""
+        cfg = self.config
+        checkpoints = scaled(cfg.checkpoints, scale, minimum=2)
+        records = scaled(cfg.log_records_per_step, scale, minimum=8)
+        fs = LustreFilesystem(self.fs_config)
+        job = SimulatedJob(
+            nprocs=cfg.nprocs, fs=fs, executable="sim-with-logger",
+            metadata={"workload": self.name},
+        )
+        fds = {}
+        for rank in range(cfg.nprocs):
+            fds[rank] = job.posix(rank).open(cfg.checkpoint_path)
+        stdio = job.stdio(0)
+        log_handle = stdio.fopen(cfg.log_path, create=True)
+        for step in range(checkpoints):
+            # Buffered logging happens continuously on rank 0.
+            for _ in range(records):
+                stdio.fwrite(log_handle, cfg.log_record_size)
+            # Checkpoint: each rank streams its slab, stripe-aligned.
+            base = step * cfg.nprocs * cfg.checkpoint_size
+            for rank in range(cfg.nprocs):
+                job.posix(rank).pwrite(
+                    fds[rank],
+                    cfg.checkpoint_size,
+                    base + rank * cfg.checkpoint_size,
+                )
+            job.barrier()
+        stdio.fclose(log_handle)
+        for rank in range(cfg.nprocs):
+            job.posix(rank).close(fds[rank])
+        log = job.finalize()
+        truth = GroundTruth.of(
+            {IssueType.NO_MPIIO, IssueType.SMALL_IO},
+            {MitigationNote.AGGREGATABLE},
+            description=(
+                "Multi-rank POSIX checkpoints without MPI-IO, plus heavy "
+                "buffered stdio logging on rank 0 (sub-RPC checkpoint "
+                "slabs are contiguous and aggregatable)."
+            ),
+        )
+        return TraceBundle(
+            name=self.name,
+            log=log,
+            truth=truth,
+            parameters={
+                "nprocs": cfg.nprocs,
+                "checkpoints": checkpoints,
+                "log_records_per_step": records,
+            },
+        )

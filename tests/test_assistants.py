@@ -1,0 +1,120 @@
+"""Tests for the Assistants-style run orchestration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm.assistants import Assistant, RunStatus, Thread
+from repro.llm.client import ScriptedLLM
+from repro.llm.interpreter import CodeInterpreter
+from repro.llm.messages import CodeCall, Completion, Message, Role
+from repro.util.errors import LLMError
+
+
+def assistant_with(completions, tmp_path, max_tool_rounds=6):
+    return Assistant(
+        client=ScriptedLLM(completions),
+        instructions="You are a test assistant.",
+        interpreter=CodeInterpreter(tmp_path),
+        max_tool_rounds=max_tool_rounds,
+    )
+
+
+class TestTextOnlyRun:
+    def test_single_completion(self, tmp_path):
+        assistant = assistant_with([Completion(content="done")], tmp_path)
+        thread = Thread()
+        thread.add(Message.user("hello"))
+        run = assistant.run(thread)
+        assert run.status == RunStatus.COMPLETED
+        assert run.final_text == "done"
+        assert run.code_blocks == []
+        assert run.debug_rounds == 0
+
+    def test_system_instructions_prepended(self, tmp_path):
+        client = ScriptedLLM([Completion(content="ok")])
+        assistant = Assistant(client=client, instructions="SYS", interpreter=None)
+        thread = Thread()
+        thread.add(Message.user("hi"))
+        assistant.run(thread)
+        first_call = client.calls[0]
+        assert first_call[0].role == Role.SYSTEM
+        assert first_call[0].content == "SYS"
+
+
+class TestToolRuns:
+    def test_code_executed_and_fed_back(self, tmp_path):
+        completions = [
+            Completion(content="running", code_call=CodeCall("print(6 * 7)")),
+            Completion(content="the answer is 42"),
+        ]
+        assistant = assistant_with(completions, tmp_path)
+        thread = Thread()
+        thread.add(Message.user("compute"))
+        run = assistant.run(thread)
+        assert run.status == RunStatus.COMPLETED
+        assert run.tool_outputs == ["42\n"]
+        assert run.code_blocks == ["print(6 * 7)"]
+        # The tool message is visible in the thread for the next turn.
+        tool_messages = [m for m in thread.messages if m.role == Role.TOOL]
+        assert tool_messages[0].content == "42\n"
+
+    def test_error_rendered_for_debugging(self, tmp_path):
+        completions = [
+            Completion(content="try", code_call=CodeCall("1/0")),
+            Completion(content="fixing", code_call=CodeCall("print('ok')")),
+            Completion(content="done"),
+        ]
+        assistant = assistant_with(completions, tmp_path)
+        thread = Thread()
+        thread.add(Message.user("go"))
+        run = assistant.run(thread)
+        assert run.status == RunStatus.COMPLETED
+        assert run.debug_rounds == 1
+        error_message = next(
+            m for m in thread.messages if m.role == Role.TOOL
+        )
+        assert error_message.content.startswith("[execution error]")
+
+    def test_tool_budget_exhaustion_fails_run(self, tmp_path):
+        completions = [
+            Completion(content=f"round {i}", code_call=CodeCall("print(1)"))
+            for i in range(5)
+        ]
+        assistant = assistant_with(completions, tmp_path, max_tool_rounds=3)
+        thread = Thread()
+        thread.add(Message.user("loop"))
+        run = assistant.run(thread)
+        assert run.status == RunStatus.FAILED
+        assert len(run.steps) == 3
+
+    def test_missing_interpreter_raises(self):
+        assistant = Assistant(
+            client=ScriptedLLM(
+                [Completion(content="x", code_call=CodeCall("print(1)"))]
+            ),
+            instructions="SYS",
+            interpreter=None,
+        )
+        thread = Thread()
+        thread.add(Message.user("go"))
+        with pytest.raises(LLMError, match="code interpreter"):
+            assistant.run(thread)
+
+    def test_zero_tool_rounds_rejected(self, tmp_path):
+        with pytest.raises(LLMError):
+            assistant_with([], tmp_path, max_tool_rounds=0)
+
+
+class TestScriptedLLM:
+    def test_exhaustion_raises(self):
+        client = ScriptedLLM([Completion(content="only one")])
+        client.complete([Message.user("a")])
+        with pytest.raises(LLMError, match="exhausted"):
+            client.complete([Message.user("b")])
+
+    def test_records_calls(self):
+        client = ScriptedLLM([Completion(content="x")])
+        client.complete([Message.user("q")])
+        assert len(client.calls) == 1
+        assert client.calls[0][0].content == "q"

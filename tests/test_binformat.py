@@ -1,0 +1,150 @@
+"""Round-trip and corruption tests for the binary log format."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.darshan.binformat import MAGIC, read_log, write_log
+from repro.darshan.counters import counters_for, fcounters_for
+from repro.darshan.log import DarshanLog
+from repro.darshan.records import DxtSegment, JobRecord, ModuleRecord, NameRecord
+from repro.util.errors import DarshanFormatError
+
+
+def sample_log():
+    log = DarshanLog(
+        job=JobRecord(
+            job_id=77, uid=1001, nprocs=4, start_time=0.0, end_time=12.5,
+            executable="app.x", metadata={"key": "value"},
+        )
+    )
+    log.add_name(NameRecord(10, "/lustre/a", "/lustre", "lustre"))
+    log.add_name(NameRecord(20, "/lustre/b"))
+    log.add_record(
+        ModuleRecord(
+            module="POSIX", record_id=10, rank=0,
+            counters={"POSIX_READS": 5, "POSIX_BYTES_READ": 500},
+            fcounters={"POSIX_F_READ_TIME": 1.25},
+        )
+    )
+    log.add_record(
+        ModuleRecord(
+            module="MPI-IO", record_id=20, rank=1,
+            counters={"MPIIO_COLL_WRITES": 7},
+        )
+    )
+    log.add_record(
+        ModuleRecord(
+            module="LUSTRE", record_id=10, rank=0,
+            counters={"LUSTRE_STRIPE_SIZE": 1048576, "LUSTRE_STRIPE_WIDTH": 4},
+        )
+    )
+    log.add_dxt(DxtSegment("X_POSIX", 10, 0, "read", 0, 500, 0.5, 0.75))
+    return log
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, tmp_path):
+        log = sample_log()
+        path = write_log(log, tmp_path / "log.darshan")
+        back = read_log(path)
+        assert back.job.job_id == 77
+        assert back.job.metadata == {"key": "value"}
+        assert back.version == log.version
+        assert back.name_records[10].path == "/lustre/a"
+        assert back.records_for("POSIX")[0].counters["POSIX_READS"] == 5
+        assert back.records_for("POSIX")[0].fcounters[
+            "POSIX_F_READ_TIME"
+        ] == pytest.approx(1.25)
+        assert back.records_for("MPI-IO")[0].counters["MPIIO_COLL_WRITES"] == 7
+        assert back.records_for("LUSTRE")[0].counters["LUSTRE_STRIPE_SIZE"] == 1048576
+        assert len(back.dxt_segments) == 1
+        assert back.dxt_segments[0].operation == "read"
+
+    def test_empty_modules_omitted(self, tmp_path):
+        log = DarshanLog(
+            job=JobRecord(job_id=1, uid=1, nprocs=1, start_time=0, end_time=1)
+        )
+        log.add_name(NameRecord(1, "/a"))
+        path = write_log(log, tmp_path / "empty.darshan")
+        back = read_log(path)
+        assert back.modules == []
+        assert not back.has_dxt
+
+    @settings(
+        max_examples=25,
+        suppress_health_check=[
+            HealthCheck.too_slow,
+            HealthCheck.function_scoped_fixture,  # tmp_path is reused safely
+        ],
+    )
+    @given(
+        counters=st.dictionaries(
+            st.sampled_from(counters_for("POSIX")),
+            st.integers(min_value=0, max_value=2**60),
+            max_size=10,
+        ),
+        fcounters=st.dictionaries(
+            st.sampled_from(fcounters_for("POSIX")),
+            st.floats(0, 1e9, allow_nan=False),
+            max_size=5,
+        ),
+        rank=st.integers(-1, 3),
+    )
+    def test_arbitrary_record_round_trip(self, tmp_path, counters, fcounters, rank):
+        log = DarshanLog(
+            job=JobRecord(job_id=1, uid=1, nprocs=4, start_time=0, end_time=1)
+        )
+        log.add_name(NameRecord(5, "/x"))
+        log.add_record(
+            ModuleRecord(
+                module="POSIX", record_id=5, rank=rank,
+                counters=counters, fcounters=fcounters,
+            )
+        )
+        path = write_log(log, tmp_path / "prop.darshan")
+        back = read_log(path).records_for("POSIX")[0]
+        for name, value in counters.items():
+            assert back.counters[name] == value
+        for name, value in fcounters.items():
+            assert back.fcounters[name] == pytest.approx(value)
+        assert back.rank == rank
+
+
+class TestCorruption:
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.darshan"
+        path.write_bytes(b"NOTDSHN!" + b"\x00" * 100)
+        with pytest.raises(DarshanFormatError, match="magic"):
+            read_log(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = write_log(sample_log(), tmp_path / "log.darshan")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(DarshanFormatError):
+            read_log(path)
+
+    def test_crc_mismatch_rejected(self, tmp_path):
+        path = write_log(sample_log(), tmp_path / "log.darshan")
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip a bit inside the last section payload
+        path.write_bytes(bytes(data))
+        with pytest.raises(DarshanFormatError, match="CRC"):
+            read_log(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.darshan"
+        path.write_bytes(b"")
+        with pytest.raises(DarshanFormatError):
+            read_log(path)
+
+    def test_magic_only_rejected(self, tmp_path):
+        path = tmp_path / "short.darshan"
+        path.write_bytes(MAGIC + struct.pack("<I", 3))
+        with pytest.raises(DarshanFormatError):
+            read_log(path)

@@ -1,0 +1,74 @@
+"""Tests for the ion and drishti-repro command-line interfaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.darshan.binformat import write_log
+from repro.drishti import cli as drishti_cli
+from repro.ion import cli as ion_cli
+
+
+@pytest.fixture(scope="module")
+def trace_path(easy_2k_bundle, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cli-traces")
+    return str(write_log(easy_2k_bundle.log, directory / "easy.darshan"))
+
+
+class TestIonCli:
+    def test_basic_run(self, trace_path, capsys):
+        assert ion_cli.main([trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "ION diagnosis report" in out
+        assert "Misaligned I/O" in out
+        assert "Global summary" in out
+
+    def test_show_code(self, trace_path, capsys):
+        assert ion_cli.main([trace_path, "--show-code"]) == 0
+        assert "import csv" in capsys.readouterr().out
+
+    def test_ask_question(self, trace_path, capsys):
+        assert ion_cli.main(
+            [trace_path, "--ask", "how many misaligned operations?"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Q: how many misaligned operations?" in out
+        assert "A:" in out
+
+    def test_no_context_flag(self, trace_path, capsys):
+        assert ion_cli.main([trace_path, "--no-context"]) == 0
+        out = capsys.readouterr().out
+        assert "no specific diagnosis" in out
+
+    def test_monolithic_strategy(self, trace_path, capsys):
+        assert ion_cli.main([trace_path, "--strategy", "monolithic"]) == 0
+        assert "ION diagnosis report" in capsys.readouterr().out
+
+    def test_missing_file_errors(self, capsys, tmp_path):
+        assert ion_cli.main([str(tmp_path / "nope.darshan")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_workdir_option(self, trace_path, tmp_path, capsys):
+        workdir = tmp_path / "csvs"
+        assert ion_cli.main([trace_path, "--workdir", str(workdir)]) == 0
+        assert (workdir / "easy" / "POSIX.csv").exists()
+
+
+class TestDrishtiCli:
+    def test_basic_run(self, trace_path, capsys):
+        assert drishti_cli.main([trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "DRISHTI report" in out
+        assert "[HIGH]" in out
+
+    def test_threshold_options(self, trace_path, capsys):
+        assert drishti_cli.main(
+            [trace_path, "--small-size", "1k", "--small-ratio", "0.5"]
+        ) == 0
+        out = capsys.readouterr().out
+        # With a 1 KiB small-size threshold, 2 KiB ops are not small.
+        assert "small write requests" not in out.split("[WARN]")[0]
+
+    def test_missing_file_errors(self, capsys, tmp_path):
+        assert drishti_cli.main([str(tmp_path / "nope.darshan")]) == 1
+        assert "error" in capsys.readouterr().err

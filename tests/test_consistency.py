@@ -1,0 +1,127 @@
+"""Tests for diagnosis consistency checking (paper future work 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ion.analyzer import AnalyzerConfig
+from repro.ion.consistency import (
+    ConsistencyChecker,
+    IssueConsistency,
+    vote,
+)
+from repro.ion.issues import IssueType, Severity
+from repro.util.errors import AnalysisError
+
+
+class TestVote:
+    def test_majority_wins(self):
+        assert vote(
+            [Severity.WARNING, Severity.WARNING, Severity.OK]
+        ) == Severity.WARNING
+
+    def test_tie_resolves_upward(self):
+        assert vote([Severity.OK, Severity.CRITICAL]) == Severity.CRITICAL
+        assert vote([Severity.INFO, Severity.WARNING]) == Severity.WARNING
+
+    def test_single_vote(self):
+        assert vote([Severity.INFO]) == Severity.INFO
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            vote([])
+
+
+class TestIssueConsistency:
+    def test_consistent(self):
+        item = IssueConsistency(
+            issue=IssueType.SMALL_IO,
+            severities={"a": Severity.WARNING, "b": Severity.WARNING},
+            voted=Severity.WARNING,
+        )
+        assert item.consistent
+        assert item.detection_consistent
+        assert item.disagreeing_variants == []
+
+    def test_detection_consistent_despite_grade_difference(self):
+        item = IssueConsistency(
+            issue=IssueType.SMALL_IO,
+            severities={"a": Severity.WARNING, "b": Severity.CRITICAL},
+            voted=Severity.WARNING,
+        )
+        assert not item.consistent
+        assert item.detection_consistent
+        assert item.disagreeing_variants == ["b"]
+
+
+class TestCheckerValidation:
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown"):
+            ConsistencyChecker(variants=("standard", "vibes"))
+
+    def test_needs_two_variants(self):
+        with pytest.raises(AnalysisError):
+            ConsistencyChecker(variants=("standard",))
+
+
+class TestCheckerOnTraces:
+    @pytest.fixture(scope="class")
+    def random_check(self, random_extraction):
+        checker = ConsistencyChecker(
+            variants=("standard", "counters-only", "monolithic")
+        )
+        return checker.check(random_extraction, "rnd")
+
+    def test_reports_kept_per_variant(self, random_check):
+        assert set(random_check.reports) == {
+            "standard", "counters-only", "monolithic",
+        }
+
+    def test_counters_only_weakens_contention(self, random_check):
+        """Contention evidence is per-operation: removing DXT degrades
+        that one verdict, and the checker surfaces it."""
+        item = random_check.consistency_for(IssueType.SHARED_FILE_CONTENTION)
+        assert item.severities["standard"].flagged
+        assert not item.severities["counters-only"].flagged
+        assert not item.consistent
+        assert "counters-only" in item.disagreeing_variants or (
+            item.voted == item.severities["standard"]
+        )
+
+    def test_monolithic_drop_surfaces_as_disagreement(self, random_check):
+        """Issues past the monolithic attention budget read OK there but
+        WARNING elsewhere — the checker exposes the extraction failure."""
+        item = random_check.consistency_for(IssueType.NO_MPIIO)
+        assert item.severities["monolithic"] == Severity.OK
+        assert item.severities["standard"].flagged
+        assert not item.consistent
+
+    def test_majority_vote_recovers_ground_truth(self, random_check,
+                                                 random_bundle):
+        assert random_check.voted_detections >= random_bundle.truth.issues
+
+    def test_robust_issues_agree(self, random_check):
+        for issue in (IssueType.SMALL_IO, IssueType.MISALIGNED_IO):
+            assert random_check.consistency_for(issue).consistent
+
+    def test_agreement_rates(self, random_check):
+        assert 0.0 < random_check.agreement_rate < 1.0
+        assert (
+            random_check.detection_agreement_rate >= random_check.agreement_rate
+        )
+
+    def test_two_good_variants_agree_fully(self, easy_extraction):
+        checker = ConsistencyChecker(variants=("standard", "counters-only"))
+        report = checker.check(easy_extraction, "easy")
+        # The easy trace's verdicts rest on counters, with one exception:
+        # the shared-file analysis loses its DXT evidence.
+        assert report.detection_agreement_rate >= 8 / 9
+
+    def test_missing_issue_lookup_raises(self, random_check):
+        report = random_check
+
+        class NotAnIssue:
+            pass
+
+        with pytest.raises(KeyError):
+            report.consistency_for(NotAnIssue())

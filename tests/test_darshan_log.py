@@ -1,0 +1,141 @@
+"""Tests for the DarshanLog container and shared-file reduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.darshan.log import DarshanLog, merge_rank_byte_totals
+from repro.darshan.records import (
+    SHARED_RANK,
+    DxtSegment,
+    JobRecord,
+    ModuleRecord,
+    NameRecord,
+)
+from repro.util.errors import DarshanValidationError
+
+
+def make_log(nprocs=4):
+    job = JobRecord(job_id=1, uid=100, nprocs=nprocs, start_time=0.0, end_time=10.0)
+    return DarshanLog(job=job)
+
+
+def posix_record(record_id, rank, reads=0, writes=0, bytes_read=0,
+                 bytes_written=0, read_time=0.0, write_time=0.0):
+    return ModuleRecord(
+        module="POSIX",
+        record_id=record_id,
+        rank=rank,
+        counters={
+            "POSIX_READS": reads,
+            "POSIX_WRITES": writes,
+            "POSIX_BYTES_READ": bytes_read,
+            "POSIX_BYTES_WRITTEN": bytes_written,
+        },
+        fcounters={
+            "POSIX_F_READ_TIME": read_time,
+            "POSIX_F_WRITE_TIME": write_time,
+        },
+    )
+
+
+class TestConstruction:
+    def test_record_requires_name(self):
+        log = make_log()
+        with pytest.raises(DarshanValidationError, match="unknown record id"):
+            log.add_record(posix_record(1, 0))
+
+    def test_dxt_requires_name(self):
+        log = make_log()
+        with pytest.raises(DarshanValidationError):
+            log.add_dxt(
+                DxtSegment("X_POSIX", 1, 0, "write", 0, 10, 0.0, 1.0)
+            )
+
+    def test_conflicting_name_rejected(self):
+        log = make_log()
+        log.add_name(NameRecord(1, "/a"))
+        with pytest.raises(DarshanValidationError):
+            log.add_name(NameRecord(1, "/b"))
+
+    def test_idempotent_name_registration(self):
+        log = make_log()
+        log.add_name(NameRecord(1, "/a"))
+        log.add_name(NameRecord(1, "/a"))
+        assert len(log.name_records) == 1
+
+
+class TestQueries:
+    def _populated(self):
+        log = make_log()
+        log.add_name(NameRecord(1, "/a"))
+        log.add_name(NameRecord(2, "/b"))
+        log.add_record(posix_record(1, 0, writes=2, bytes_written=100))
+        log.add_record(posix_record(1, 1, writes=3, bytes_written=200))
+        log.add_record(posix_record(2, 1, reads=1, bytes_read=50))
+        return log
+
+    def test_modules(self):
+        assert self._populated().modules == ["POSIX"]
+
+    def test_path_for(self):
+        assert self._populated().path_for(1) == "/a"
+
+    def test_records_for_file(self):
+        log = self._populated()
+        assert len(log.records_for_file("POSIX", 1)) == 2
+
+    def test_file_ids(self):
+        log = self._populated()
+        assert log.file_ids() == [1, 2]
+        assert log.file_ids("POSIX") == [1, 2]
+
+    def test_ranks(self):
+        assert self._populated().ranks() == [0, 1]
+
+    def test_total_bytes(self):
+        read, written = self._populated().total_bytes("POSIX")
+        assert read == 50
+        assert written == 300
+
+    def test_merge_rank_byte_totals(self):
+        totals = merge_rank_byte_totals(self._populated(), "POSIX")
+        assert totals == {0: 100, 1: 250}
+
+    def test_iter_dxt_filters(self):
+        log = self._populated()
+        log.add_dxt(DxtSegment("X_POSIX", 1, 0, "write", 0, 10, 0.0, 1.0))
+        log.add_dxt(DxtSegment("X_MPIIO", 1, 1, "read", 0, 10, 0.0, 1.0))
+        assert len(list(log.iter_dxt(module="X_POSIX"))) == 1
+        assert len(list(log.iter_dxt(rank=1))) == 1
+        assert len(list(log.iter_dxt(record_id=1))) == 2
+        assert log.has_dxt
+
+
+class TestSharedReduction:
+    def test_additive_counters_sum(self):
+        log = make_log()
+        log.add_name(NameRecord(1, "/a"))
+        log.add_record(posix_record(1, 0, writes=2, bytes_written=100, write_time=1.0))
+        log.add_record(posix_record(1, 1, writes=3, bytes_written=300, write_time=3.0))
+        merged = log.reduce_shared("POSIX", 1)
+        assert merged.rank == SHARED_RANK
+        assert merged.counters["POSIX_WRITES"] == 5
+        assert merged.counters["POSIX_BYTES_WRITTEN"] == 400
+
+    def test_extremes_recomputed(self):
+        log = make_log()
+        log.add_name(NameRecord(1, "/a"))
+        log.add_record(posix_record(1, 0, writes=2, bytes_written=100, write_time=1.0))
+        log.add_record(posix_record(1, 1, writes=3, bytes_written=300, write_time=3.0))
+        merged = log.reduce_shared("POSIX", 1)
+        assert merged.counters["POSIX_FASTEST_RANK"] == 0
+        assert merged.counters["POSIX_SLOWEST_RANK"] == 1
+        assert merged.counters["POSIX_SLOWEST_RANK_BYTES"] == 300
+        assert merged.fcounters["POSIX_F_SLOWEST_RANK_TIME"] == 3.0
+        assert merged.fcounters["POSIX_F_VARIANCE_RANK_TIME"] == pytest.approx(1.0)
+
+    def test_unknown_file_rejected(self):
+        log = make_log()
+        with pytest.raises(KeyError):
+            log.reduce_shared("POSIX", 99)

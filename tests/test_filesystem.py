@@ -1,0 +1,165 @@
+"""Tests for the simulated Lustre filesystem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lustre.filesystem import LustreConfig, LustreFilesystem
+from repro.util.errors import FilesystemError
+from repro.util.units import MIB
+
+
+@pytest.fixture()
+def fs():
+    return LustreFilesystem(
+        LustreConfig(ost_count=4, default_stripe_size=MIB, default_stripe_count=2)
+    )
+
+
+class TestNamespace:
+    def test_create_and_lookup(self, fs):
+        inode, done = fs.create("/lustre/a", arrival=0.0)
+        assert done > 0
+        assert fs.lookup("/lustre/a") is inode
+        assert fs.exists("/lustre/a")
+
+    def test_create_duplicate_rejected(self, fs):
+        fs.create("/lustre/a", 0.0)
+        with pytest.raises(FilesystemError):
+            fs.create("/lustre/a", 0.0)
+
+    def test_lookup_missing_rejected(self, fs):
+        with pytest.raises(FilesystemError, match="no such file"):
+            fs.lookup("/lustre/missing")
+
+    def test_open_creates_when_allowed(self, fs):
+        inode, _ = fs.open("/lustre/new", 0.0, create=True)
+        assert inode.open_count == 1
+
+    def test_open_missing_without_create_rejected(self, fs):
+        with pytest.raises(FilesystemError):
+            fs.open("/lustre/missing", 0.0, create=False)
+
+    def test_close_drops_open_count_and_locks(self, fs):
+        inode, _ = fs.open("/lustre/a", 0.0)
+        fs.io(inode, 0, "write", 0, 100, 0.0)
+        assert fs.locks.holders(inode.file_id, 0) == {0}
+        fs.close(inode, 1.0)
+        assert inode.open_count == 0
+        assert fs.locks.holders(inode.file_id, 0) == set()
+
+    def test_close_unopened_rejected(self, fs):
+        inode, _ = fs.create("/lustre/a", 0.0)
+        with pytest.raises(FilesystemError):
+            fs.close(inode, 0.0)
+
+    def test_unlink_removes(self, fs):
+        fs.create("/lustre/a", 0.0)
+        fs.unlink("/lustre/a", 1.0)
+        assert not fs.exists("/lustre/a")
+
+    def test_stat_requires_existence(self, fs):
+        with pytest.raises(FilesystemError):
+            fs.stat("/lustre/missing", 0.0)
+
+    def test_files_sorted(self, fs):
+        fs.create("/lustre/b", 0.0)
+        fs.create("/lustre/a", 0.0)
+        assert [inode.path for inode in fs.files()] == ["/lustre/a", "/lustre/b"]
+
+    def test_round_robin_ost_assignment(self, fs):
+        a, _ = fs.create("/lustre/a", 0.0)
+        b, _ = fs.create("/lustre/b", 0.0)
+        assert a.layout.ost_ids != b.layout.ost_ids
+
+    def test_custom_striping(self, fs):
+        inode, _ = fs.create("/lustre/wide", 0.0, stripe_size=2 * MIB, stripe_count=4)
+        assert inode.layout.stripe_size == 2 * MIB
+        assert inode.layout.stripe_count == 4
+
+    def test_stripe_count_beyond_osts_rejected(self, fs):
+        with pytest.raises(FilesystemError):
+            fs.create("/lustre/too-wide", 0.0, stripe_count=9)
+
+
+class TestConfig:
+    def test_default_stripe_count_validated(self):
+        with pytest.raises(FilesystemError):
+            LustreConfig(ost_count=2, default_stripe_count=4)
+
+    def test_file_alignment_is_stripe_size(self):
+        config = LustreConfig(default_stripe_size=2 * MIB)
+        assert config.file_alignment == 2 * MIB
+
+
+class TestDataPath:
+    def test_write_grows_file(self, fs):
+        inode, _ = fs.open("/lustre/a", 0.0)
+        fs.io(inode, 0, "write", 0, 1000, 0.0)
+        assert inode.size == 1000
+        fs.io(inode, 0, "write", 500, 100, 1.0)
+        assert inode.size == 1000  # overwrite inside does not grow
+
+    def test_read_past_eof_rejected(self, fs):
+        inode, _ = fs.open("/lustre/a", 0.0)
+        fs.io(inode, 0, "write", 0, 100, 0.0)
+        with pytest.raises(FilesystemError, match="EOF"):
+            fs.io(inode, 0, "read", 50, 100, 1.0)
+
+    def test_bad_operation_rejected(self, fs):
+        inode, _ = fs.open("/lustre/a", 0.0)
+        with pytest.raises(FilesystemError):
+            fs.io(inode, 0, "append", 0, 10, 0.0)
+
+    def test_alignment_reported(self, fs):
+        inode, _ = fs.open("/lustre/a", 0.0)
+        aligned = fs.io(inode, 0, "write", 0, 100, 0.0)
+        assert aligned.file_aligned
+        misaligned = fs.io(inode, 0, "write", 1, 100, 1.0)
+        assert not misaligned.file_aligned
+
+    def test_mem_alignment_passthrough(self, fs):
+        inode, _ = fs.open("/lustre/a", 0.0)
+        result = fs.io(inode, 0, "write", 0, 10, 0.0, mem_aligned=False)
+        assert not result.mem_aligned
+
+    def test_stripe_crossing_counts_stripes(self, fs):
+        inode, _ = fs.open("/lustre/a", 0.0)
+        result = fs.io(inode, 0, "write", MIB - 10, 20, 0.0)
+        assert len(result.stripes) == 2
+
+    def test_rpc_count(self, fs):
+        inode, _ = fs.open("/lustre/a", 0.0)
+        result = fs.io(inode, 0, "write", 0, MIB, 0.0)
+        assert result.rpcs == 1
+        result = fs.io(inode, 0, "write", 0, 0, 1.0)
+        assert result.rpcs == 0
+
+    def test_revocations_on_cross_rank_writes(self, fs):
+        inode, _ = fs.open("/lustre/a", 0.0)
+        fs.io(inode, 0, "write", 0, 100, 0.0)
+        result = fs.io(inode, 1, "write", 10, 100, 1.0)
+        assert result.revocations == 1
+
+    def test_completion_monotone_with_queueing(self, fs):
+        inode, _ = fs.open("/lustre/a", 0.0)
+        first = fs.io(inode, 0, "write", 0, MIB, 0.0)
+        second = fs.io(inode, 0, "write", MIB * 2, MIB, 0.0)
+        assert second.completion > first.completion
+
+    def test_contention_costs_time(self):
+        """Interleaved cross-rank writes in one stripe are slower than
+        the same volume written by a single rank."""
+        def run(ranks):
+            fs = LustreFilesystem(
+                LustreConfig(ost_count=1, default_stripe_count=1)
+            )
+            inode, _ = fs.open("/lustre/x", 0.0)
+            clock = 0.0
+            for step in range(64):
+                rank = step % ranks
+                clock = fs.io(inode, rank, "write", (step % 8) * 4096, 4096,
+                              clock).completion
+            return clock
+
+        assert run(ranks=4) > run(ranks=1)

@@ -1,0 +1,120 @@
+"""Tests for the sandboxed code interpreter."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.llm.interpreter import CodeInterpreter
+from repro.util.errors import CodeInterpreterError
+
+
+@pytest.fixture()
+def interpreter(tmp_path):
+    (tmp_path / "data.csv").write_text("a,b\n1,2\n3,4\n")
+    return CodeInterpreter(tmp_path)
+
+
+class TestExecution:
+    def test_print_captured(self, interpreter):
+        result = interpreter.run("print('hello', 42)")
+        assert result.ok
+        assert result.stdout == "hello 42\n"
+
+    def test_csv_and_json_available(self, interpreter):
+        code = (
+            "import csv, json\n"
+            "with open('data.csv') as fh:\n"
+            "    rows = list(csv.DictReader(fh))\n"
+            "print(json.dumps({'count': len(rows)}))\n"
+        )
+        result = interpreter.run(code)
+        assert result.ok
+        assert '"count": 2' in result.stdout
+
+    def test_relative_paths_resolve_to_workdir(self, interpreter):
+        result = interpreter.run("print(open('data.csv').readline().strip())")
+        assert result.stdout == "a,b\n"
+
+    def test_runtime_error_reported_as_traceback(self, interpreter):
+        result = interpreter.run("x = 1 / 0")
+        assert not result.ok
+        assert "ZeroDivisionError" in result.error
+
+    def test_syntax_error_reported(self, interpreter):
+        result = interpreter.run("def broken(:")
+        assert not result.ok
+        assert "SyntaxError" in result.error
+
+    def test_run_or_raise(self, interpreter):
+        assert interpreter.run_or_raise("print('x')") == "x\n"
+        with pytest.raises(CodeInterpreterError):
+            interpreter.run_or_raise("raise ValueError('boom')")
+
+    def test_output_clipped(self, tmp_path):
+        interpreter = CodeInterpreter(tmp_path, output_limit=100)
+        result = interpreter.run("print('y' * 1000)")
+        assert result.ok
+        assert len(result.stdout) < 200
+        assert "truncated" in result.stdout
+
+
+class TestSandboxing:
+    def test_disallowed_import_blocked(self, interpreter):
+        result = interpreter.run("import os")
+        assert not result.ok
+        assert "ImportError" in result.error
+
+    def test_subimport_blocked(self, interpreter):
+        result = interpreter.run("import os.path")
+        assert not result.ok
+
+    def test_allowed_imports_work(self, interpreter):
+        result = interpreter.run(
+            "import math, statistics, itertools, re\nprint(math.pi > 3)"
+        )
+        assert result.ok
+
+    def test_write_mode_blocked(self, interpreter):
+        result = interpreter.run("open('data.csv', 'w')")
+        assert not result.ok
+        assert "PermissionError" in result.error
+
+    def test_append_mode_blocked(self, interpreter):
+        assert not interpreter.run("open('x', 'a')").ok
+
+    def test_path_escape_blocked(self, interpreter):
+        result = interpreter.run("open('../outside.txt')")
+        assert not result.ok
+        assert "PermissionError" in result.error
+
+    def test_absolute_escape_blocked(self, interpreter):
+        result = interpreter.run("open('/etc/hostname')")
+        assert not result.ok
+
+    def test_eval_exec_removed(self, interpreter):
+        assert not interpreter.run("eval('1+1')").ok
+        assert not interpreter.run("exec('x=1')").ok
+
+    def test_dunder_import_removed(self, interpreter):
+        assert not interpreter.run("__import__('os')").ok
+
+
+class TestConcurrency:
+    def test_parallel_runs_do_not_mix_output(self, tmp_path):
+        interpreter = CodeInterpreter(tmp_path)
+        outputs: dict[int, str] = {}
+
+        def work(tag: int) -> None:
+            code = f"for _ in range(200):\n    print('tag-{tag}')"
+            outputs[tag] = interpreter.run(code).stdout
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for tag, stdout in outputs.items():
+            lines = set(stdout.strip().splitlines())
+            assert lines == {f"tag-{tag}"}

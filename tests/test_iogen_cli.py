@@ -1,0 +1,62 @@
+"""Tests for the iogen trace-generation CLI."""
+
+from __future__ import annotations
+
+import json
+
+from repro.darshan.binformat import read_log
+from repro.workloads import cli as iogen_cli
+from repro.workloads.registry import workload_names
+
+
+class TestIogen:
+    def test_list(self, capsys):
+        assert iogen_cli.main(["--list"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out == workload_names()
+
+    def test_generate(self, tmp_path, capsys):
+        target = tmp_path / "trace.darshan"
+        assert iogen_cli.main(
+            ["ior-easy-1m-shared", str(target), "--scale", "0.05"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        log = read_log(target)
+        assert log.records_for("POSIX")
+
+    def test_truth_flag_prints_labels(self, tmp_path, capsys):
+        target = tmp_path / "trace.darshan"
+        assert iogen_cli.main(
+            ["ior-hard", str(target), "--scale", "0.001", "--truth"]
+        ) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert "small_io" in payload["issues"]
+        assert "shared_file_contention" in payload["issues"]
+
+    def test_missing_arguments_error(self, capsys):
+        try:
+            iogen_cli.main([])
+        except SystemExit as exc:
+            assert exc.code == 2
+        else:  # pragma: no cover - argparse always exits here
+            raise AssertionError("expected argparse to reject missing args")
+
+    def test_unwritable_output_errors(self, capsys, tmp_path):
+        bad = tmp_path / "file"
+        bad.write_text("in the way")
+        target = bad / "trace.darshan"  # parent is a file, mkdir fails
+        assert iogen_cli.main(
+            ["ior-easy-1m-shared", str(target), "--scale", "0.05"]
+        ) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_generated_trace_feeds_ion_cli(self, tmp_path, capsys):
+        from repro.ion import cli as ion_cli
+
+        target = tmp_path / "trace.darshan"
+        iogen_cli.main(["md-workbench", str(target), "--scale", "0.1"])
+        capsys.readouterr()
+        assert ion_cli.main([str(target)]) == 0
+        assert "Excessive Metadata Load" in capsys.readouterr().out

@@ -1,0 +1,89 @@
+"""Tests for the extent lock manager."""
+
+from __future__ import annotations
+
+from repro.lustre.locks import ExtentLockManager
+
+
+class TestSharedReads:
+    def test_readers_share_without_conflict(self):
+        locks = ExtentLockManager()
+        assert locks.acquire(1, 0, rank=0, write=False) == 0
+        assert locks.acquire(1, 0, rank=1, write=False) == 0
+        assert locks.stats.conflicts == 0
+        assert locks.holders(1, 0) == {0, 1}
+
+    def test_reacquire_same_rank_free(self):
+        locks = ExtentLockManager()
+        locks.acquire(1, 0, rank=0, write=True)
+        assert locks.acquire(1, 0, rank=0, write=True) == 0
+        assert locks.stats.conflicts == 0
+
+
+class TestWriteConflicts:
+    def test_write_revokes_other_writer(self):
+        locks = ExtentLockManager()
+        locks.acquire(1, 0, rank=0, write=True)
+        revoked = locks.acquire(1, 0, rank=1, write=True)
+        assert revoked == 1
+        assert locks.stats.conflicts == 1
+        assert locks.holders(1, 0) == {1}
+
+    def test_write_revokes_all_readers(self):
+        locks = ExtentLockManager()
+        for rank in range(3):
+            locks.acquire(1, 0, rank=rank, write=False)
+        revoked = locks.acquire(1, 0, rank=9, write=True)
+        assert revoked == 3
+        assert locks.holders(1, 0) == {9}
+
+    def test_read_revokes_foreign_writer(self):
+        locks = ExtentLockManager()
+        locks.acquire(1, 0, rank=0, write=True)
+        revoked = locks.acquire(1, 0, rank=1, write=False)
+        assert revoked == 1
+        assert locks.holders(1, 0) == {1}
+
+    def test_writer_then_own_read_keeps_lock(self):
+        locks = ExtentLockManager()
+        locks.acquire(1, 0, rank=0, write=True)
+        assert locks.acquire(1, 0, rank=0, write=False) == 0
+
+    def test_write_revokes_readers_and_writer_combo(self):
+        locks = ExtentLockManager()
+        locks.acquire(1, 0, rank=0, write=False)
+        locks.acquire(1, 0, rank=1, write=False)
+        # Writer revokes both readers.
+        assert locks.acquire(1, 0, rank=2, write=True) == 2
+        # New writer revokes old writer only.
+        assert locks.acquire(1, 0, rank=3, write=True) == 1
+
+
+class TestIsolation:
+    def test_different_stripes_do_not_conflict(self):
+        locks = ExtentLockManager()
+        locks.acquire(1, 0, rank=0, write=True)
+        assert locks.acquire(1, 1, rank=1, write=True) == 0
+
+    def test_different_files_do_not_conflict(self):
+        locks = ExtentLockManager()
+        locks.acquire(1, 0, rank=0, write=True)
+        assert locks.acquire(2, 0, rank=1, write=True) == 0
+
+    def test_release_all_clears_file(self):
+        locks = ExtentLockManager()
+        locks.acquire(1, 0, rank=0, write=True)
+        locks.release_all(1)
+        assert locks.holders(1, 0) == set()
+        assert locks.acquire(1, 0, rank=1, write=True) == 0
+
+    def test_release_unknown_file_is_noop(self):
+        ExtentLockManager().release_all(42)
+
+    def test_stats_accumulate(self):
+        locks = ExtentLockManager()
+        locks.acquire(1, 0, rank=0, write=True)
+        locks.acquire(1, 0, rank=1, write=True)
+        locks.acquire(1, 0, rank=0, write=True)
+        assert locks.stats.acquisitions == 3
+        assert locks.stats.revocations == 2

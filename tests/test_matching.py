@@ -1,0 +1,144 @@
+"""Tests for ground-truth scoring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.drishti.insights import DrishtiReport, Insight, Level
+from repro.evaluation.matching import (
+    TraceScore,
+    aggregate,
+    score_drishti,
+    score_ion,
+)
+from repro.ion.issues import (
+    Diagnosis,
+    DiagnosisReport,
+    IssueType,
+    MitigationNote,
+    Severity,
+)
+from repro.workloads.base import GroundTruth
+
+
+def make_score(truth_issues, observed, flagged, mitigations=frozenset(),
+               truth_mitigations=frozenset()):
+    return TraceScore(
+        trace="t",
+        tool="ION",
+        truth_issues=frozenset(truth_issues),
+        truth_mitigations=frozenset(truth_mitigations),
+        observed=frozenset(observed),
+        flagged=frozenset(flagged),
+        mitigations=frozenset(mitigations),
+    )
+
+
+class TestTraceScore:
+    def test_perfect(self):
+        score = make_score(
+            {IssueType.SMALL_IO}, {IssueType.SMALL_IO}, {IssueType.SMALL_IO}
+        )
+        assert score.recall == 1.0
+        assert score.precision == 1.0
+        assert score.exact
+
+    def test_missed_issue(self):
+        score = make_score(
+            {IssueType.SMALL_IO, IssueType.MISALIGNED_IO},
+            {IssueType.SMALL_IO},
+            {IssueType.SMALL_IO},
+        )
+        assert score.recall == 0.5
+        assert score.missed_issues == {IssueType.MISALIGNED_IO}
+        assert not score.exact
+
+    def test_false_positive(self):
+        score = make_score(
+            {IssueType.SMALL_IO},
+            {IssueType.SMALL_IO, IssueType.RANDOM_ACCESS},
+            {IssueType.SMALL_IO, IssueType.RANDOM_ACCESS},
+        )
+        assert score.precision == 0.5
+        assert score.false_positives == {IssueType.RANDOM_ACCESS}
+
+    def test_observed_but_not_flagged_is_not_false_positive(self):
+        score = make_score(
+            {IssueType.SMALL_IO},
+            {IssueType.SMALL_IO, IssueType.LOAD_IMBALANCE},
+            {IssueType.SMALL_IO},
+        )
+        assert score.precision == 1.0
+        assert score.exact
+
+    def test_empty_truth_trivially_recalled(self):
+        score = make_score(set(), set(), set())
+        assert score.recall == 1.0
+        assert score.precision == 1.0
+
+    def test_mitigation_recall(self):
+        score = make_score(
+            {IssueType.SMALL_IO}, {IssueType.SMALL_IO}, set(),
+            mitigations={MitigationNote.AGGREGATABLE},
+            truth_mitigations={
+                MitigationNote.AGGREGATABLE, MitigationNote.NON_OVERLAPPING,
+            },
+        )
+        assert score.mitigation_recall == 0.5
+        assert score.missed_mitigations == {MitigationNote.NON_OVERLAPPING}
+
+
+class TestScoreAdapters:
+    def test_score_ion(self):
+        report = DiagnosisReport(
+            trace_name="t",
+            diagnoses=[
+                Diagnosis(IssueType.SMALL_IO, Severity.INFO, "x",
+                          mitigations=[MitigationNote.AGGREGATABLE]),
+                Diagnosis(IssueType.MISALIGNED_IO, Severity.CRITICAL, "y"),
+                Diagnosis(IssueType.RANDOM_ACCESS, Severity.OK, "z"),
+            ],
+        )
+        truth = GroundTruth.of(
+            {IssueType.SMALL_IO, IssueType.MISALIGNED_IO},
+            {MitigationNote.AGGREGATABLE},
+        )
+        score = score_ion(truth, report)
+        assert score.recall == 1.0
+        assert score.precision == 1.0
+        assert score.mitigation_recall == 1.0
+        assert score.observed == {IssueType.SMALL_IO, IssueType.MISALIGNED_IO}
+        assert score.flagged == {IssueType.MISALIGNED_IO}
+
+    def test_score_drishti(self):
+        report = DrishtiReport(
+            trace_name="t",
+            insights=[
+                Insight("POSIX-02", Level.HIGH, "small", issue=IssueType.SMALL_IO),
+                Insight("POSIX-10", Level.OK, "sequential"),
+                Insight("POSIX-07", Level.WARN, "redundant"),  # unmapped
+            ],
+        )
+        truth = GroundTruth.of(
+            {IssueType.SMALL_IO}, {MitigationNote.AGGREGATABLE}
+        )
+        score = score_drishti(truth, report)
+        assert score.recall == 1.0
+        assert score.mitigations == frozenset()
+        assert score.mitigation_recall == 0.0
+
+
+class TestAggregate:
+    def test_means(self):
+        scores = [
+            make_score({IssueType.SMALL_IO}, {IssueType.SMALL_IO},
+                       {IssueType.SMALL_IO}),
+            make_score({IssueType.SMALL_IO}, set(), set()),
+        ]
+        agg = aggregate(scores, tool="ION")
+        assert agg.recall == pytest.approx(0.5)
+        assert agg.exact_traces == 1
+
+    def test_filters_by_tool(self):
+        scores = [make_score({IssueType.SMALL_IO}, set(), set())]
+        assert aggregate(scores, tool="Drishti").scores == []

@@ -1,0 +1,226 @@
+"""Tests for the MPI-IO layer: independent path and two-phase collectives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.darshan.validate import validate_log
+from repro.iosim.job import SimulatedJob
+from repro.iosim.mpiio import Contribution
+from repro.util.errors import SimulationError
+from repro.util.units import KIB, MIB
+
+
+def make_job(nprocs=4):
+    return SimulatedJob(nprocs=nprocs)
+
+
+class TestOpenClose:
+    def test_collective_open_creates_posix_records_per_rank(self):
+        job = make_job()
+        mpi = job.mpiio()
+        handle = mpi.open("/lustre/c")
+        mpi.close(handle)
+        log = job.finalize()
+        posix_ranks = {r.rank for r in log.records_for("POSIX")}
+        mpiio_ranks = {r.rank for r in log.records_for("MPI-IO")}
+        assert posix_ranks == mpiio_ranks == {0, 1, 2, 3}
+        for record in log.records_for("MPI-IO"):
+            assert record.counters["MPIIO_COLL_OPENS"] == 1
+
+    def test_independent_open_subset(self):
+        job = make_job()
+        mpi = job.mpiio()
+        handle = mpi.open("/lustre/c", ranks=[1, 2], collective=False)
+        mpi.close(handle)
+        log = job.finalize()
+        assert {r.rank for r in log.records_for("MPI-IO")} == {1, 2}
+        assert log.records_for("MPI-IO")[0].counters["MPIIO_INDEP_OPENS"] == 1
+
+    def test_empty_rank_list_rejected(self):
+        job = make_job()
+        with pytest.raises(SimulationError):
+            job.mpiio().open("/lustre/c", ranks=[])
+
+    def test_bad_handle_rejected(self):
+        job = make_job()
+        mpi = job.mpiio()
+        with pytest.raises(SimulationError):
+            mpi.close(42)
+
+
+class TestIndependentOps:
+    def test_mirrored_in_posix(self):
+        job = make_job()
+        mpi = job.mpiio()
+        handle = mpi.open("/lustre/c")
+        mpi.write_at(handle, 2, 0, 4 * KIB)
+        mpi.read_at(handle, 2, 0, 4 * KIB)
+        mpi.close(handle)
+        log = job.finalize()
+        mpiio = next(r for r in log.records_for("MPI-IO") if r.rank == 2)
+        posix = next(r for r in log.records_for("POSIX") if r.rank == 2)
+        assert mpiio.counters["MPIIO_INDEP_WRITES"] == 1
+        assert mpiio.counters["MPIIO_INDEP_READS"] == 1
+        assert posix.counters["POSIX_WRITES"] == 1
+        assert posix.counters["POSIX_READS"] == 1
+        validate_log(log)
+
+    def test_nonblocking_counted_separately(self):
+        job = make_job()
+        mpi = job.mpiio()
+        handle = mpi.open("/lustre/c")
+        mpi.write_at(handle, 0, 0, KIB, nonblocking=True)
+        mpi.close(handle)
+        record = next(
+            r for r in job.finalize().records_for("MPI-IO") if r.rank == 0
+        )
+        assert record.counters["MPIIO_NB_WRITES"] == 1
+        assert record.counters["MPIIO_INDEP_WRITES"] == 0
+
+    def test_rank_must_have_opened(self):
+        job = make_job()
+        mpi = job.mpiio()
+        handle = mpi.open("/lustre/c", ranks=[0, 1])
+        with pytest.raises(SimulationError):
+            mpi.write_at(handle, 3, 0, KIB)
+
+    def test_sync_counts(self):
+        job = make_job()
+        mpi = job.mpiio()
+        handle = mpi.open("/lustre/c")
+        mpi.write_at(handle, 0, 0, KIB)
+        mpi.sync(handle)
+        mpi.close(handle)
+        record = next(
+            r for r in job.finalize().records_for("MPI-IO") if r.rank == 0
+        )
+        assert record.counters["MPIIO_SYNCS"] == 1
+
+
+class TestCollectiveOps:
+    def test_every_rank_records_collective_op(self):
+        job = make_job()
+        mpi = job.mpiio()
+        handle = mpi.open("/lustre/c", stripe_size=MIB, stripe_count=4)
+        contributions = [
+            Contribution(rank, rank * 256 * KIB, 256 * KIB) for rank in range(4)
+        ]
+        mpi.write_at_all(handle, contributions)
+        mpi.close(handle)
+        log = job.finalize()
+        for record in log.records_for("MPI-IO"):
+            assert record.counters["MPIIO_COLL_WRITES"] == 1
+        validate_log(log)
+
+    def test_aggregators_do_the_posix_writes(self):
+        job = make_job()
+        mpi = job.mpiio(cb_nodes=1)
+        handle = mpi.open("/lustre/c", stripe_size=MIB, stripe_count=4)
+        contributions = [
+            Contribution(rank, rank * 256 * KIB, 256 * KIB) for rank in range(4)
+        ]
+        mpi.write_at_all(handle, contributions)
+        mpi.close(handle)
+        log = job.finalize()
+        writers = {
+            r.rank: r.counters["POSIX_WRITES"]
+            for r in log.records_for("POSIX")
+            if r.counters["POSIX_WRITES"]
+        }
+        assert set(writers) == {0}
+
+    def test_contiguous_contributions_coalesce(self):
+        """Four contiguous 256 KiB pieces become one 1 MiB aligned write."""
+        job = make_job()
+        mpi = job.mpiio()
+        handle = mpi.open("/lustre/c", stripe_size=MIB, stripe_count=4)
+        contributions = [
+            Contribution(rank, rank * 256 * KIB, 256 * KIB) for rank in range(4)
+        ]
+        mpi.write_at_all(handle, contributions)
+        mpi.close(handle)
+        log = job.finalize()
+        posix_writes = [
+            seg for seg in log.dxt_segments if seg.module == "X_POSIX"
+            and seg.operation == "write"
+        ]
+        assert len(posix_writes) == 1
+        assert posix_writes[0].offset == 0
+        assert posix_writes[0].length == MIB
+
+    def test_unaligned_run_keeps_base_offset(self):
+        """File domains split relative to the run start (odd header)."""
+        job = make_job()
+        mpi = job.mpiio()
+        handle = mpi.open("/lustre/c", stripe_size=MIB, stripe_count=4)
+        header = 2867
+        contributions = [
+            Contribution(rank, header + rank * MIB, MIB) for rank in range(4)
+        ]
+        mpi.write_at_all(handle, contributions)
+        mpi.close(handle)
+        log = job.finalize()
+        writes = [
+            seg for seg in log.dxt_segments if seg.module == "X_POSIX"
+            and seg.operation == "write"
+        ]
+        assert all(seg.offset % MIB == header for seg in writes)
+
+    def test_collective_read_back(self):
+        job = make_job()
+        mpi = job.mpiio()
+        handle = mpi.open("/lustre/c", stripe_size=MIB, stripe_count=4)
+        contributions = [
+            Contribution(rank, rank * 256 * KIB, 256 * KIB) for rank in range(4)
+        ]
+        mpi.write_at_all(handle, contributions)
+        mpi.read_at_all(handle, contributions)
+        mpi.close(handle)
+        log = job.finalize()
+        record = next(r for r in log.records_for("MPI-IO") if r.rank == 1)
+        assert record.counters["MPIIO_COLL_READS"] == 1
+        validate_log(log)
+
+    def test_ranks_without_contribution_record_zero_length(self):
+        job = make_job()
+        mpi = job.mpiio()
+        handle = mpi.open("/lustre/c")
+        mpi.write_at_all(handle, [Contribution(0, 0, MIB)])
+        mpi.close(handle)
+        log = job.finalize()
+        record = next(r for r in log.records_for("MPI-IO") if r.rank == 3)
+        assert record.counters["MPIIO_COLL_WRITES"] == 1
+        assert record.counters["MPIIO_BYTES_WRITTEN"] == 0
+
+    def test_collective_synchronizes_clocks(self):
+        job = make_job()
+        mpi = job.mpiio()
+        handle = mpi.open("/lustre/c")
+        mpi.write_at_all(
+            handle, [Contribution(rank, rank * MIB, MIB) for rank in range(4)]
+        )
+        clocks = [job.now(rank) for rank in range(4)]
+        assert max(clocks) == pytest.approx(min(clocks))
+
+    def test_contribution_from_non_member_rejected(self):
+        job = make_job()
+        mpi = job.mpiio()
+        handle = mpi.open("/lustre/c", ranks=[0, 1])
+        with pytest.raises(SimulationError):
+            mpi.write_at_all(handle, [Contribution(3, 0, MIB)])
+
+    def test_default_aggregator_count_is_stripe_count(self):
+        job = SimulatedJob(nprocs=8)
+        mpi = job.mpiio()
+        handle = mpi.open("/lustre/c", stripe_size=MIB, stripe_count=2)
+        contributions = [
+            Contribution(rank, rank * MIB, MIB) for rank in range(8)
+        ]
+        mpi.write_at_all(handle, contributions)
+        mpi.close(handle)
+        log = job.finalize()
+        writers = {
+            r.rank for r in log.records_for("POSIX") if r.counters["POSIX_WRITES"]
+        }
+        assert writers == {0, 1}

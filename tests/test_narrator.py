@@ -1,0 +1,109 @@
+"""Tests for summary composition and interactive answering."""
+
+from __future__ import annotations
+
+from repro.ion.issues import IssueType
+from repro.ion.prompts import build_question_prompt, build_summary_prompt
+from repro.llm.expert.model import SimulatedExpertLLM
+from repro.llm.messages import Message
+
+
+def complete(prompt):
+    return SimulatedExpertLLM().complete([Message.user(prompt)]).content
+
+
+class TestSummary:
+    def test_orders_by_severity(self):
+        prompt = build_summary_prompt(
+            "t",
+            [
+                (IssueType.RANDOM_ACCESS, "random but low volume [severity=info]"),
+                (IssueType.MISALIGNED_IO, "everything misaligned [severity=critical]"),
+                (IssueType.SMALL_IO, "no small ops [severity=ok]"),
+            ],
+        )
+        summary = complete(prompt)
+        assert "dominating issues" in summary
+        assert summary.index("Misaligned I/O") < summary.index("Random Access")
+        assert "Small I/O Operations" in summary  # listed as unproblematic
+
+    def test_recommendation_matches_top_issue(self):
+        prompt = build_summary_prompt(
+            "t",
+            [(IssueType.MISALIGNED_IO, "bad alignment [severity=critical]")],
+        )
+        summary = complete(prompt)
+        assert "align data extents" in summary
+
+    def test_clean_trace_summary(self):
+        prompt = build_summary_prompt(
+            "t", [(IssueType.SMALL_IO, "fine [severity=ok]")]
+        )
+        summary = complete(prompt)
+        assert "No I/O issue dominating performance" in summary
+
+    def test_severity_tags_stripped_from_prose(self):
+        prompt = build_summary_prompt(
+            "t", [(IssueType.SMALL_IO, "many small ops [severity=warning]")]
+        )
+        summary = complete(prompt)
+        assert "[severity=" not in summary
+
+
+DIGEST = """Summary: misalignment dominates this trace.
+
+[small_io] severity=info
+Conclusion: Small ops are consecutive and aggregatable.
+Evidence: {"small_fraction": 1.0, "consec_fraction": 0.99}
+
+[misaligned_io] severity=critical
+Conclusion: 99.80% of operations are misaligned.
+Evidence: {"misaligned_fraction": 0.998, "misaligned_ops": 2044}
+"""
+
+
+class TestQuestionAnswering:
+    def test_routes_to_matching_issue(self):
+        prompt = build_question_prompt("t", DIGEST, "Why are accesses misaligned?")
+        answer = complete(prompt)
+        assert "misaligned" in answer
+        assert "critical" in answer
+
+    def test_quantitative_question_quotes_evidence(self):
+        prompt = build_question_prompt(
+            "t", DIGEST, "How many misaligned operations were there?"
+        )
+        answer = complete(prompt)
+        assert "misaligned_ops=2044" in answer
+
+    def test_aggregation_keyword_routes_to_small_io(self):
+        prompt = build_question_prompt("t", DIGEST, "Can the requests be aggregated?")
+        answer = complete(prompt)
+        assert "aggregatable" in answer or "consecutive" in answer
+
+    def test_unmatched_question_falls_back_to_summary(self):
+        prompt = build_question_prompt("t", DIGEST, "What is the weather like?")
+        answer = complete(prompt)
+        assert "misalignment dominates" in answer
+        assert "small_io" in answer  # lists what can be asked about
+
+    def test_fix_intent_appends_recommendation(self):
+        prompt = build_question_prompt(
+            "t", DIGEST, "How do I fix the misaligned accesses?"
+        )
+        answer = complete(prompt)
+        assert "Recommendation:" in answer
+        assert "align data extents" in answer
+
+    def test_bare_fix_request_targets_worst_issue(self):
+        prompt = build_question_prompt("t", DIGEST, "what should we do first?")
+        answer = complete(prompt)
+        # misaligned_io is the only critical issue in the digest.
+        assert "99.80%" in answer
+        assert "Recommendation:" in answer
+
+    def test_bare_why_routes_to_dominant_issue(self):
+        prompt = build_question_prompt("t", DIGEST, "why?")
+        answer = complete(prompt)
+        assert "misaligned" in answer
+        assert "critical" in answer

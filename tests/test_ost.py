@@ -1,0 +1,101 @@
+"""Tests for the OST/MDS server cost models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lustre.ost import MetadataServer, OstArray, ServerCosts
+from repro.util.units import MIB
+
+
+def costs():
+    return ServerCosts(
+        ost_bandwidth=100.0 * MIB,
+        rpc_latency=1e-3,
+        seek_penalty=5e-3,
+        mds_op_latency=2e-3,
+    )
+
+
+class TestOstArray:
+    def test_requires_positive_count(self):
+        with pytest.raises(ValueError):
+            OstArray(0, costs())
+
+    def test_sequential_transfer_time(self):
+        osts = OstArray(1, costs())
+        # First access pays the seek penalty (no prior position).
+        done = osts.transfer(0, file_id=1, offset=0, length=MIB, arrival=0.0,
+                             rpc_size=4 * MIB)
+        assert done == pytest.approx(1e-3 + 0.01 + 5e-3)
+
+    def test_contiguous_access_skips_seek(self):
+        osts = OstArray(1, costs())
+        first = osts.transfer(0, 1, 0, MIB, 0.0, 4 * MIB)
+        second = osts.transfer(0, 1, MIB, MIB, first, 4 * MIB)
+        assert second - first == pytest.approx(1e-3 + 0.01)
+
+    def test_noncontiguous_access_pays_seek(self):
+        osts = OstArray(1, costs())
+        first = osts.transfer(0, 1, 0, MIB, 0.0, 4 * MIB)
+        second = osts.transfer(0, 1, 10 * MIB, MIB, first, 4 * MIB)
+        assert second - first == pytest.approx(1e-3 + 0.01 + 5e-3)
+
+    def test_rpc_count_scales_latency(self):
+        osts = OstArray(1, costs())
+        done = osts.transfer(0, 1, 0, 8 * MIB, 0.0, rpc_size=MIB)
+        # 8 RPCs of latency plus streaming plus one seek.
+        assert done == pytest.approx(8e-3 + 0.08 + 5e-3)
+
+    def test_fifo_queueing(self):
+        osts = OstArray(1, costs())
+        first = osts.transfer(0, 1, 0, MIB, 0.0, 4 * MIB)
+        # Second request arrives while the first is in service.
+        second = osts.transfer(0, 1, MIB, MIB, 0.0, 4 * MIB)
+        assert second > first
+
+    def test_parallel_osts_do_not_queue_each_other(self):
+        osts = OstArray(2, costs())
+        first = osts.transfer(0, 1, 0, MIB, 0.0, 4 * MIB)
+        second = osts.transfer(1, 1, MIB, MIB, 0.0, 4 * MIB)
+        assert first == pytest.approx(second)
+
+    def test_zero_length_costs_one_rpc(self):
+        osts = OstArray(1, costs())
+        done = osts.transfer(0, 1, 0, 0, 0.0, 4 * MIB)
+        assert done > 0
+
+    def test_charge_occupies_server(self):
+        osts = OstArray(1, costs())
+        done = osts.charge(0, 0.0, 0.5)
+        assert done == pytest.approx(0.5)
+        after = osts.transfer(0, 1, 0, MIB, 0.0, 4 * MIB)
+        assert after > 0.5
+
+    def test_utilization_tracks_busy_time(self):
+        osts = OstArray(2, costs())
+        osts.transfer(0, 1, 0, MIB, 0.0, 4 * MIB)
+        busy = osts.utilization()
+        assert busy[0] > 0
+        assert busy[1] == 0
+
+
+class TestMetadataServer:
+    def test_serializes_requests(self):
+        mds = MetadataServer(costs())
+        first = mds.metadata_op(0.0)
+        second = mds.metadata_op(0.0)
+        assert first == pytest.approx(2e-3)
+        assert second == pytest.approx(4e-3)
+
+    def test_weight_scales_service(self):
+        mds = MetadataServer(costs())
+        done = mds.metadata_op(0.0, weight=2.0)
+        assert done == pytest.approx(4e-3)
+
+    def test_counters(self):
+        mds = MetadataServer(costs())
+        mds.metadata_op(0.0)
+        mds.metadata_op(1.0)
+        assert mds.requests == 2
+        assert mds.busy_time == pytest.approx(4e-3)

@@ -1,0 +1,110 @@
+"""Tests for the darshan-parser / darshan-dxt-parser text formats."""
+
+from __future__ import annotations
+
+from repro.darshan.binformat import write_log
+from repro.darshan.dxt import parse_dxt_dump, parse_dxt_file, render_dxt
+from repro.darshan.log import DarshanLog
+from repro.darshan.parser import (
+    parse_file,
+    parse_text_dump,
+    render_header,
+    render_log,
+)
+from repro.darshan.records import DxtSegment, JobRecord, ModuleRecord, NameRecord
+
+
+def sample_log():
+    log = DarshanLog(
+        job=JobRecord(
+            job_id=9, uid=42, nprocs=2, start_time=0.0, end_time=5.0,
+            executable="ior", metadata={"mode": "easy"},
+        )
+    )
+    log.add_name(NameRecord(3, "/lustre/data", "/lustre", "lustre"))
+    log.add_record(
+        ModuleRecord(
+            module="POSIX", record_id=3, rank=0,
+            counters={"POSIX_WRITES": 4, "POSIX_BYTES_WRITTEN": 4096},
+            fcounters={"POSIX_F_WRITE_TIME": 0.5},
+        )
+    )
+    log.add_record(
+        ModuleRecord(
+            module="POSIX", record_id=3, rank=1,
+            counters={"POSIX_WRITES": 2, "POSIX_BYTES_WRITTEN": 2048},
+        )
+    )
+    for index in range(3):
+        log.add_dxt(
+            DxtSegment(
+                "X_POSIX", 3, 0, "write", index * 1024, 1024,
+                float(index), float(index) + 0.5,
+            )
+        )
+    return log
+
+
+class TestHeader:
+    def test_header_fields(self):
+        text = render_header(sample_log())
+        assert "# exe: ior" in text
+        assert "# nprocs: 2" in text
+        assert "# jobid: 9" in text
+        assert "# metadata: mode = easy" in text
+        assert "# run time: 5.0" in text
+
+
+class TestModuleDump:
+    def test_line_format(self):
+        text = render_log(sample_log())
+        assert "# POSIX module data" in text
+        line = next(
+            l for l in text.splitlines()
+            if l.startswith("POSIX\t0\t") and "POSIX_WRITES\t4" in l
+        )
+        fields = line.split("\t")
+        assert fields[5] == "/lustre/data"
+        assert fields[6] == "/lustre"
+        assert fields[7] == "lustre"
+
+    def test_parse_inverts_render(self):
+        log = sample_log()
+        parsed = parse_text_dump(render_log(log))
+        assert set(parsed) == {"POSIX"}
+        rows = parsed["POSIX"]
+        assert len(rows) == 2
+        rank0 = next(r for r in rows if r["rank"] == 0)
+        assert rank0["POSIX_WRITES"] == 4
+        assert rank0["POSIX_BYTES_WRITTEN"] == 4096
+        assert rank0["POSIX_F_WRITE_TIME"] == 0.5
+        assert rank0["file"] == "/lustre/data"
+
+    def test_parse_file_from_disk(self, tmp_path):
+        path = write_log(sample_log(), tmp_path / "log.darshan")
+        text = parse_file(path)
+        assert "# darshan log version" in text
+        assert "POSIX_WRITES" in text
+
+
+class TestDxtDump:
+    def test_render_groups_by_file_rank(self):
+        text = render_dxt(sample_log())
+        assert "# file_name: /lustre/data" in text
+        assert "# rank: 0" in text
+        assert text.count("X_POSIX\t0\twrite") == 3
+
+    def test_parse_inverts_render(self):
+        rows = parse_dxt_dump(render_dxt(sample_log()))
+        assert len(rows) == 3
+        assert rows[0]["operation"] == "write"
+        assert rows[0]["offset"] == 0
+        assert rows[1]["offset"] == 1024
+        assert rows[0]["file"] == "/lustre/data"
+        assert rows[0]["segment"] == 0
+        assert rows[2]["segment"] == 2
+
+    def test_parse_dxt_file_from_disk(self, tmp_path):
+        path = write_log(sample_log(), tmp_path / "log.darshan")
+        rows = parse_dxt_dump(parse_dxt_file(path))
+        assert len(rows) == 3

@@ -1,0 +1,164 @@
+"""Qualitative properties of the cost model.
+
+The reproduction never claims calibrated absolute times, but the
+*directions* must be right or the injected issues would not cost
+anything: striping parallelizes, aggregation beats per-rank small
+writes, misalignment costs extra work, contention serializes, and the
+MDS saturates under metadata storms.
+"""
+
+from __future__ import annotations
+
+from repro.iosim.job import SimulatedJob
+from repro.iosim.mpiio import Contribution
+from repro.lustre.filesystem import LustreConfig, LustreFilesystem
+from repro.util.units import KIB, MIB
+
+
+def job_with(ost_count=8, stripe_count=4, nprocs=4):
+    fs = LustreFilesystem(
+        LustreConfig(ost_count=ost_count, default_stripe_count=stripe_count)
+    )
+    return SimulatedJob(nprocs=nprocs, fs=fs)
+
+
+class TestStriping:
+    def test_wider_striping_speeds_large_streams(self):
+        def run(stripe_count):
+            job = job_with(stripe_count=stripe_count, nprocs=1)
+            posix = job.posix(0)
+            fd = posix.open("/lustre/wide", stripe_count=stripe_count)
+            for index in range(16):
+                posix.pwrite(fd, 4 * MIB, index * 4 * MIB)
+            posix.close(fd)
+            return job.now(0)
+
+        assert run(stripe_count=8) < run(stripe_count=1)
+
+    def test_misaligned_stream_costs_more_server_work(self):
+        """A shifted stream splits every write across two stripes: the
+        job may hide it behind OST parallelism, but the servers burn
+        measurably more busy time (extra RPCs and seeks) for the same
+        bytes — capacity another job no longer gets."""
+
+        def busy(shift):
+            job = job_with(nprocs=1)
+            posix = job.posix(0)
+            fd = posix.open("/lustre/data")
+            for index in range(64):
+                posix.pwrite(fd, MIB, shift + index * MIB)
+            posix.close(fd)
+            return sum(job.fs.osts.utilization())
+
+        assert busy(shift=4099) > busy(shift=0) * 1.05
+
+    def test_misalignment_costs_wall_clock_when_osts_saturated(self):
+        """Once the servers are the bottleneck, the extra per-split RPCs
+        and seeks turn into wall-clock time — the E2E story."""
+
+        def run(shift):
+            job = job_with(ost_count=1, stripe_count=1, nprocs=2)
+            fds = {}
+            for rank in range(2):
+                fds[rank] = job.posix(rank).open("/lustre/domain")
+            for step in range(32):
+                for rank in range(2):
+                    offset = shift + (rank * 32 + step) * MIB
+                    job.posix(rank).pwrite(fds[rank], MIB, offset)
+            for rank in range(2):
+                job.posix(rank).close(fds[rank])
+            return max(job.clocks)
+
+        assert run(shift=2867) > run(shift=0) * 1.02
+
+
+class TestAggregation:
+    def test_collective_beats_shattered_independent_writes(self):
+        """The OpenPMD story in miniature: the same bytes, collective
+        vs broken into small independent writes."""
+        piece = 64 * KIB
+        pieces_per_rank = 16
+
+        def independent():
+            job = job_with()
+            mpi = job.mpiio()
+            handle = mpi.open("/lustre/f")
+            for step in range(pieces_per_rank):
+                for rank in range(4):
+                    offset = (rank * pieces_per_rank + step) * piece
+                    mpi.write_at(handle, rank, offset, piece)
+            mpi.close(handle)
+            return max(job.clocks)
+
+        def collective():
+            job = job_with()
+            mpi = job.mpiio()
+            handle = mpi.open("/lustre/f")
+            contributions = [
+                Contribution(rank, rank * pieces_per_rank * piece,
+                             pieces_per_rank * piece)
+                for rank in range(4)
+            ]
+            mpi.write_at_all(handle, contributions)
+            mpi.close(handle)
+            return max(job.clocks)
+
+        assert collective() < independent()
+
+
+class TestContention:
+    def test_interleaved_shared_stripe_slower_than_disjoint(self):
+        def run(disjoint):
+            job = job_with(nprocs=4)
+            fds = {}
+            for rank in range(4):
+                fds[rank] = job.posix(rank).open("/lustre/shared")
+            for step in range(32):
+                for rank in range(4):
+                    if disjoint:
+                        offset = rank * 4 * MIB + step * 16 * KIB
+                    else:
+                        offset = (step * 4 + rank) * 16 * KIB
+                    job.posix(rank).pwrite(fds[rank], 16 * KIB, offset)
+            for rank in range(4):
+                job.posix(rank).close(fds[rank])
+            return max(job.clocks)
+
+        assert run(disjoint=False) > run(disjoint=True)
+
+
+class TestMetadata:
+    def test_mds_serializes_open_storms(self):
+        def run(nprocs):
+            job = job_with(nprocs=nprocs)
+            for iteration in range(8):
+                for rank in range(nprocs):
+                    posix = job.posix(rank)
+                    fd = posix.open(f"/lustre/meta/r{rank}i{iteration}")
+                    posix.close(fd)
+            return max(job.clocks)
+
+        # Twice the ranks hammering one MDS takes longer wall-clock,
+        # despite each rank doing the same work.
+        assert run(nprocs=8) > run(nprocs=4)
+
+    def test_reopen_churn_costs_more_than_keeping_open(self):
+        def churn():
+            job = job_with(nprocs=1)
+            posix = job.posix(0)
+            for index in range(64):
+                fd = posix.open("/lustre/log")
+                posix.pwrite(fd, 1 * KIB, index * KIB)
+                posix.close(fd)
+            return job.now(0)
+
+        def keep_open():
+            job = job_with(nprocs=1)
+            posix = job.posix(0)
+            fd = posix.open("/lustre/log")
+            for index in range(64):
+                posix.pwrite(fd, 1 * KIB, index * KIB)
+            posix.close(fd)
+            return job.now(0)
+
+        assert churn() > keep_open()

@@ -1,0 +1,88 @@
+"""Tests for the IoNavigator facade and the public API surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ion.analyzer import AnalyzerConfig
+from repro.ion.issues import IssueType, Severity
+from repro.ion.pipeline import IoNavigator
+from repro.util.units import MIB
+
+
+class TestNavigatorConfig:
+    def test_include_dxt_false_propagates(self, easy_2k_bundle, tmp_path):
+        navigator = IoNavigator(
+            config=AnalyzerConfig(include_dxt=False, summarize=False),
+            workdir=tmp_path,
+        )
+        result = navigator.diagnose(easy_2k_bundle.log, "easy")
+        shared = result.report.diagnosis_for(IssueType.SHARED_FILE_CONTENTION)
+        # Without DXT in the prompt, the shared-file analysis cannot
+        # measure stripe overlap and says so.
+        assert not shared.evidence.get("dxt_available", True)
+        assert "DXT" in shared.conclusion
+
+    def test_issue_subset(self, easy_2k_bundle, tmp_path):
+        navigator = IoNavigator(
+            config=AnalyzerConfig(
+                issues=(IssueType.MISALIGNED_IO,), summarize=False
+            ),
+            workdir=tmp_path,
+        )
+        result = navigator.diagnose(easy_2k_bundle.log, "easy")
+        assert len(result.report.diagnoses) == 1
+        assert result.report.diagnoses[0].severity == Severity.CRITICAL
+
+    def test_custom_rpc_size_changes_small_classification(
+        self, easy_2k_bundle, tmp_path
+    ):
+        # With a tiny "RPC size", 2 KiB ops are no longer sub-RPC.
+        navigator = IoNavigator(rpc_size=1024, workdir=tmp_path)
+        result = navigator.diagnose(easy_2k_bundle.log, "easy")
+        small = result.report.diagnosis_for(IssueType.SMALL_IO)
+        assert small.severity == Severity.OK
+
+    def test_workdir_layout(self, easy_2k_bundle, tmp_path):
+        navigator = IoNavigator(workdir=tmp_path)
+        navigator.diagnose(easy_2k_bundle.log, "mytrace")
+        assert (tmp_path / "mytrace" / "POSIX.csv").exists()
+        assert (tmp_path / "mytrace" / "DXT.csv").exists()
+
+    def test_temp_workdir_by_default(self, easy_2k_bundle):
+        result = IoNavigator().diagnose(easy_2k_bundle.log, "t")
+        assert result.extraction.directory.exists()
+
+
+class TestPublicApi:
+    def test_top_level_exports(self):
+        import repro
+
+        assert repro.__version__
+        assert repro.IoNavigator is IoNavigator
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.util",
+            "repro.darshan",
+            "repro.lustre",
+            "repro.iosim",
+            "repro.workloads",
+            "repro.llm",
+            "repro.ion",
+            "repro.drishti",
+            "repro.evaluation",
+        ],
+    )
+    def test_all_exports_resolve(self, module):
+        import importlib
+
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.__all__ lists missing {name}"
+
+    def test_units_accessible_from_util(self):
+        from repro.util import MIB as exported
+
+        assert exported == MIB

@@ -1,0 +1,239 @@
+"""Tests for the instrumented POSIX layer and its Darshan counters."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.darshan.validate import validate_log
+from repro.iosim.job import SimulatedJob
+from repro.util.errors import FilesystemError, SimulationError
+from repro.util.units import MIB
+
+
+def run_ops(ops, nprocs=1):
+    """Run a list of (offset, length, op) tuples on rank 0 and finalize."""
+    job = SimulatedJob(nprocs=nprocs)
+    posix = job.posix(0)
+    fd = posix.open("/lustre/f")
+    for offset, length, op in ops:
+        if op == "write":
+            posix.pwrite(fd, length, offset)
+        else:
+            posix.pread(fd, length, offset)
+    posix.close(fd)
+    log = job.finalize()
+    validate_log(log)
+    return log.records_for("POSIX")[0]
+
+
+class TestSequencingCounters:
+    def test_consecutive_writes(self):
+        record = run_ops([(0, 100, "write"), (100, 100, "write"), (200, 100, "write")])
+        assert record.counters["POSIX_CONSEC_WRITES"] == 2
+        assert record.counters["POSIX_SEQ_WRITES"] == 2
+
+    def test_sequential_with_gap(self):
+        record = run_ops([(0, 100, "write"), (500, 100, "write")])
+        assert record.counters["POSIX_CONSEC_WRITES"] == 0
+        assert record.counters["POSIX_SEQ_WRITES"] == 1
+
+    def test_backward_jump_not_sequential(self):
+        record = run_ops([(500, 100, "write"), (0, 100, "write")])
+        assert record.counters["POSIX_SEQ_WRITES"] == 0
+        assert record.counters["POSIX_CONSEC_WRITES"] == 0
+
+    def test_sequencing_spans_directions(self):
+        record = run_ops(
+            [(0, 100, "write"), (100, 100, "write"), (100, 100, "read")]
+        )
+        assert record.counters["POSIX_CONSEC_READS"] == 0
+        assert record.counters["POSIX_SEQ_READS"] == 1
+        assert record.counters["POSIX_RW_SWITCHES"] == 1
+
+    def test_rw_switch_counting(self):
+        record = run_ops(
+            [(0, 100, "write"), (0, 100, "read"), (0, 100, "read"),
+             (200, 100, "write")]
+        )
+        assert record.counters["POSIX_RW_SWITCHES"] == 2
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 10_000), st.integers(1, 1_000),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_invariants_hold_for_any_write_stream(self, extents):
+        ops = [(offset, length, "write") for offset, length in extents]
+        record = run_ops(ops)
+        writes = record.counters["POSIX_WRITES"]
+        assert writes == len(ops)
+        assert record.counters["POSIX_BYTES_WRITTEN"] == sum(l for _, l in extents)
+        assert (
+            record.counters["POSIX_CONSEC_WRITES"]
+            <= record.counters["POSIX_SEQ_WRITES"]
+            <= writes
+        )
+
+
+class TestAlignmentCounters:
+    def test_aligned_ops_not_counted(self):
+        record = run_ops([(0, MIB, "write"), (MIB, MIB, "write")])
+        assert record.counters["POSIX_FILE_NOT_ALIGNED"] == 0
+
+    def test_misaligned_ops_counted(self):
+        record = run_ops([(1, 100, "write"), (MIB + 7, 100, "write")])
+        assert record.counters["POSIX_FILE_NOT_ALIGNED"] == 2
+
+    def test_mem_alignment(self):
+        job = SimulatedJob(nprocs=1)
+        posix = job.posix(0)
+        fd = posix.open("/lustre/f")
+        posix.pwrite(fd, 100, 0, mem_aligned=False)
+        posix.pwrite(fd, 100, 100, mem_aligned=True)
+        posix.close(fd)
+        record = job.finalize().records_for("POSIX")[0]
+        assert record.counters["POSIX_MEM_NOT_ALIGNED"] == 1
+
+    def test_file_alignment_reported(self):
+        record = run_ops([(0, 100, "write")])
+        assert record.counters["POSIX_FILE_ALIGNMENT"] == MIB
+
+
+class TestHistogramAndAccessCounters:
+    def test_size_histogram(self):
+        record = run_ops([(0, 50, "write"), (50, 2048, "write"), (2098, 50, "write")])
+        assert record.counters["POSIX_SIZE_WRITE_0_100"] == 2
+        assert record.counters["POSIX_SIZE_WRITE_1K_10K"] == 1
+
+    def test_common_access_sizes(self):
+        record = run_ops([(i * 512, 512, "write") for i in range(5)])
+        assert record.counters["POSIX_ACCESS1_ACCESS"] == 512
+        assert record.counters["POSIX_ACCESS1_COUNT"] == 5
+
+    def test_max_byte(self):
+        record = run_ops([(100, 50, "write")])
+        assert record.counters["POSIX_MAX_BYTE_WRITTEN"] == 149
+
+
+class TestCursorAndMetadata:
+    def test_cursor_write_read(self):
+        job = SimulatedJob(nprocs=1)
+        posix = job.posix(0)
+        fd = posix.open("/lustre/f")
+        posix.write(fd, 100)
+        posix.write(fd, 100)
+        assert posix.tell(fd) == 200
+        posix.lseek(fd, 0)
+        posix.read(fd, 150)
+        assert posix.tell(fd) == 150
+        posix.close(fd)
+        record = job.finalize().records_for("POSIX")[0]
+        assert record.counters["POSIX_SEEKS"] == 1
+        assert record.counters["POSIX_CONSEC_WRITES"] == 1
+
+    def test_stat_and_fsync_counted(self):
+        job = SimulatedJob(nprocs=1)
+        posix = job.posix(0)
+        fd = posix.open("/lustre/f")
+        posix.pwrite(fd, 10, 0)
+        posix.fsync(fd)
+        posix.stat("/lustre/f")
+        posix.close(fd)
+        record = job.finalize().records_for("POSIX")[0]
+        assert record.counters["POSIX_FSYNCS"] == 1
+        assert record.counters["POSIX_STATS"] == 1
+        assert record.fcounters["POSIX_F_META_TIME"] > 0
+
+    def test_negative_seek_rejected(self):
+        job = SimulatedJob(nprocs=1)
+        posix = job.posix(0)
+        fd = posix.open("/lustre/f")
+        with pytest.raises(FilesystemError):
+            posix.lseek(fd, -1)
+
+    def test_bad_fd_rejected(self):
+        job = SimulatedJob(nprocs=1)
+        posix = job.posix(0)
+        with pytest.raises(FilesystemError, match="file descriptor"):
+            posix.pwrite(99, 10, 0)
+
+    def test_closed_fd_rejected(self):
+        job = SimulatedJob(nprocs=1)
+        posix = job.posix(0)
+        fd = posix.open("/lustre/f")
+        posix.close(fd)
+        with pytest.raises(FilesystemError):
+            posix.close(fd)
+
+    def test_negative_length_rejected(self):
+        job = SimulatedJob(nprocs=1)
+        posix = job.posix(0)
+        fd = posix.open("/lustre/f")
+        with pytest.raises(FilesystemError):
+            posix.pwrite(fd, -1, 0)
+
+
+class TestTimingAndJob:
+    def test_clock_advances(self):
+        job = SimulatedJob(nprocs=1)
+        posix = job.posix(0)
+        fd = posix.open("/lustre/f")
+        t0 = job.now(0)
+        posix.pwrite(fd, MIB, 0)
+        assert job.now(0) > t0
+
+    def test_times_recorded(self):
+        record = run_ops([(0, MIB, "write")])
+        assert record.fcounters["POSIX_F_WRITE_TIME"] > 0
+        assert record.fcounters["POSIX_F_MAX_WRITE_TIME"] <= record.fcounters[
+            "POSIX_F_WRITE_TIME"
+        ] + 1e-12
+
+    def test_rank_bounds_checked(self):
+        job = SimulatedJob(nprocs=2)
+        with pytest.raises(FilesystemError):
+            job.posix(5)
+
+    def test_barrier_synchronizes(self):
+        job = SimulatedJob(nprocs=2)
+        posix = job.posix(0)
+        fd = posix.open("/lustre/f")
+        posix.pwrite(fd, MIB, 0)
+        assert job.now(1) < job.now(0)
+        job.barrier()
+        assert job.now(1) == job.now(0)
+
+    def test_compute_advances_clock(self):
+        job = SimulatedJob(nprocs=1)
+        job.compute(0, 1.5)
+        assert job.now(0) == 1.5
+        with pytest.raises(SimulationError):
+            job.compute(0, -1.0)
+
+    def test_double_finalize_rejected(self):
+        job = SimulatedJob(nprocs=1)
+        job.finalize()
+        with pytest.raises(SimulationError):
+            job.finalize()
+
+    def test_clock_never_moves_backward(self):
+        job = SimulatedJob(nprocs=1)
+        job.advance(0, 5.0)
+        with pytest.raises(SimulationError):
+            job.advance(0, 1.0)
+
+    def test_dxt_can_be_disabled(self):
+        job = SimulatedJob(nprocs=1, enable_dxt=False)
+        posix = job.posix(0)
+        fd = posix.open("/lustre/f")
+        posix.pwrite(fd, 10, 0)
+        posix.close(fd)
+        log = job.finalize()
+        assert not log.has_dxt

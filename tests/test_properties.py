@@ -1,0 +1,153 @@
+"""Cross-layer property tests (hypothesis).
+
+These check conservation laws that tie the substrates together: data
+written through any layer is fully accounted for in counters, DXT,
+histograms, the Drishti view, and the summary — for arbitrary
+generated access patterns.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.darshan.summary import summarize
+from repro.darshan.validate import validate_log
+from repro.drishti.thresholds import DEFAULT_THRESHOLDS
+from repro.drishti.triggers import build_view
+from repro.iosim.job import SimulatedJob
+from repro.iosim.mpiio import Contribution
+from repro.util.units import KIB, MIB
+
+# Strategy: a handful of ranks, each with a short list of (slot, size)
+# write operations into a shared file.
+ops_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 3),  # rank
+        st.integers(0, 64),  # slot (offset = slot * 8 KiB)
+        st.integers(1, 16 * KIB),  # size
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def run_posix_workload(ops):
+    job = SimulatedJob(nprocs=4)
+    fds = {}
+    for rank in range(4):
+        fds[rank] = job.posix(rank).open("/lustre/prop")
+    for rank, slot, size in ops:
+        job.posix(rank).pwrite(fds[rank], size, slot * 8 * KIB)
+    for rank in range(4):
+        job.posix(rank).close(fds[rank])
+    return job.finalize()
+
+
+class TestPosixConservation:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=ops_strategy)
+    def test_everything_accounted_for(self, ops):
+        log = run_posix_workload(ops)
+        validate_log(log)  # counters vs DXT vs histograms
+
+        total_bytes = sum(size for _, _, size in ops)
+        _, written = log.total_bytes("POSIX")
+        assert written == total_bytes
+
+        # Drishti's view agrees with the log.
+        view = build_view(log, DEFAULT_THRESHOLDS)
+        assert view.writes == len(ops)
+        assert view.bytes_written == total_bytes
+        assert sum(view.bytes_by_rank.values()) == total_bytes
+
+        # The summary agrees too.
+        summary = summarize(log)
+        posix = summary.modules["POSIX"]
+        assert posix.writes == len(ops)
+        assert posix.bytes_written == total_bytes
+        assert sum(summary.write_histogram) == len(ops)
+
+        # Time accounting: per-rank I/O time never exceeds the job span
+        # (each rank's operations are serial within the rank).
+        for rank, elapsed in view.time_by_rank.items():
+            assert elapsed <= log.job.run_time + 1e-6
+
+    @settings(max_examples=25, deadline=None)
+    @given(ops=ops_strategy)
+    def test_dxt_reconstructs_byte_totals(self, ops):
+        log = run_posix_workload(ops)
+        by_rank: dict[int, int] = {}
+        for segment in log.iter_dxt(module="X_POSIX"):
+            by_rank[segment.rank] = by_rank.get(segment.rank, 0) + segment.length
+        for rank in range(4):
+            expected = sum(size for r, _, size in ops if r == rank)
+            assert by_rank.get(rank, 0) == expected
+
+
+# Strategy for collective writes: disjoint per-rank extents.
+collective_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 255),  # slot index in units of 64 KiB
+        st.integers(1, 64 * KIB),  # length (<= slot spacing)
+    ),
+    min_size=1,
+    max_size=8,
+    unique_by=lambda item: item[0],
+)
+
+
+class TestCollectiveConservation:
+    @settings(max_examples=30, deadline=None)
+    @given(extents=collective_strategy, header=st.integers(0, 5000))
+    def test_aggregated_writes_tile_the_contributions(self, extents, header):
+        """Whatever the contribution layout, the aggregators' POSIX
+        writes cover exactly the union of contributed extents."""
+        job = SimulatedJob(nprocs=4)
+        mpi = job.mpiio()
+        handle = mpi.open("/lustre/coll", stripe_size=MIB, stripe_count=4)
+        contributions = [
+            Contribution(index % 4, header + slot * 64 * KIB, length)
+            for index, (slot, length) in enumerate(extents)
+        ]
+        mpi.write_at_all(handle, contributions)
+        mpi.close(handle)
+        log = job.finalize()
+        validate_log(log)
+
+        expected = set()
+        for contribution in contributions:
+            expected.update(
+                range(
+                    contribution.offset,
+                    contribution.offset + contribution.length,
+                )
+            )
+        covered = set()
+        for segment in log.iter_dxt(module="X_POSIX"):
+            if segment.operation != "write":
+                continue
+            span = range(segment.offset, segment.offset + segment.length)
+            # Aggregator chunks never overlap each other.
+            assert covered.isdisjoint(span)
+            covered.update(span)
+        assert covered == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(extents=collective_strategy)
+    def test_mpiio_records_preserve_contribution_bytes(self, extents):
+        job = SimulatedJob(nprocs=4)
+        mpi = job.mpiio()
+        handle = mpi.open("/lustre/coll", stripe_size=MIB, stripe_count=4)
+        contributions = [
+            Contribution(index % 4, slot * 64 * KIB, length)
+            for index, (slot, length) in enumerate(extents)
+        ]
+        mpi.write_at_all(handle, contributions)
+        mpi.close(handle)
+        log = job.finalize()
+        mpiio_written = sum(
+            record.counters["MPIIO_BYTES_WRITTEN"]
+            for record in log.records_for("MPI-IO")
+        )
+        assert mpiio_written == sum(length for _, length in extents)

@@ -1,0 +1,52 @@
+"""Tests for the named workload registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.darshan.validate import validate_log
+from repro.workloads.registry import (
+    EXTRA_WORKLOADS,
+    FIGURE2_WORKLOADS,
+    FIGURE3_WORKLOADS,
+    make_workload,
+    workload_names,
+)
+
+
+class TestRegistry:
+    def test_figure_lists_cover_paper(self):
+        assert len(FIGURE2_WORKLOADS) == 6
+        assert len(FIGURE3_WORKLOADS) == 4
+        assert set(FIGURE2_WORKLOADS) | set(FIGURE3_WORKLOADS) | set(
+            EXTRA_WORKLOADS
+        ) == set(workload_names())
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            make_workload("does-not-exist")
+
+    def test_instances_are_fresh(self):
+        assert make_workload("ior-hard") is not make_workload("ior-hard")
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_every_workload_runs_tiny(self, name):
+        scale = {
+            "ior-easy-2k-shared": 0.5,
+            "ior-easy-1m-shared": 0.1,
+            "ior-easy-1m-fpp": 0.1,
+            "ior-hard": 0.001,
+            "ior-rnd4k": 0.002,
+            "md-workbench": 0.1,
+            "ior-easy-mixed": 0.1,
+            "stdio-logger": 0.25,
+            "openpmd-baseline": 0.025,
+            "openpmd-optimized": 0.03,
+            "e2e-baseline": 0.01,
+            "e2e-optimized": 0.02,
+        }[name]
+        bundle = make_workload(name).run(scale=scale)
+        assert bundle.name == name
+        validate_log(bundle.log)
+        assert bundle.truth.issues or bundle.truth.mitigations
+        assert bundle.log.records_for("POSIX")

@@ -1,0 +1,116 @@
+"""Tests for JSON report serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.ion.issues import (
+    Diagnosis,
+    DiagnosisReport,
+    IssueType,
+    MitigationNote,
+    Severity,
+)
+from repro.ion.serialize import (
+    SCHEMA_VERSION,
+    diagnosis_from_dict,
+    diagnosis_to_dict,
+    dump_report,
+    load_report,
+    report_from_dict,
+    report_to_dict,
+)
+from repro.util.errors import ReproError
+
+
+def sample_report():
+    return DiagnosisReport(
+        trace_name="t",
+        summary="summary text",
+        diagnoses=[
+            Diagnosis(
+                issue=IssueType.SMALL_IO,
+                severity=Severity.INFO,
+                conclusion="small but fine",
+                steps=["step one", "step two"],
+                code="print(1)",
+                code_output="1\n",
+                evidence={"total_ops": 10, "fraction": 0.5},
+                mitigations=[MitigationNote.AGGREGATABLE],
+            ),
+            Diagnosis(
+                issue=IssueType.MISALIGNED_IO,
+                severity=Severity.CRITICAL,
+                conclusion="everything misaligned",
+            ),
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        report = sample_report()
+        back = report_from_dict(report_to_dict(report))
+        assert back.trace_name == report.trace_name
+        assert back.summary == report.summary
+        assert len(back.diagnoses) == 2
+        first = back.diagnoses[0]
+        assert first.issue == IssueType.SMALL_IO
+        assert first.severity == Severity.INFO
+        assert first.steps == ["step one", "step two"]
+        assert first.evidence == {"total_ops": 10, "fraction": 0.5}
+        assert first.mitigations == [MitigationNote.AGGREGATABLE]
+
+    def test_file_round_trip(self, tmp_path):
+        path = dump_report(sample_report(), tmp_path / "out" / "report.json")
+        assert path.exists()
+        back = load_report(path)
+        assert back.detected_issues == {IssueType.MISALIGNED_IO}
+
+    def test_json_is_stable(self, tmp_path):
+        first = dump_report(sample_report(), tmp_path / "a.json").read_text()
+        second = dump_report(sample_report(), tmp_path / "b.json").read_text()
+        assert first == second
+
+    def test_pipeline_report_serializes(self, easy_2k_bundle, tmp_path):
+        from repro.ion.pipeline import IoNavigator
+
+        report = IoNavigator().diagnose(easy_2k_bundle.log, "easy").report
+        back = load_report(dump_report(report, tmp_path / "r.json"))
+        assert back.detected_issues == report.detected_issues
+        assert back.mitigation_notes == report.mitigation_notes
+        for a, b in zip(report.diagnoses, back.diagnoses):
+            assert a.conclusion == b.conclusion
+            assert a.evidence == b.evidence
+
+
+class TestErrors:
+    def test_wrong_schema_version(self):
+        payload = report_to_dict(sample_report())
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ReproError, match="schema version"):
+            report_from_dict(payload)
+
+    def test_bad_issue_value(self):
+        payload = diagnosis_to_dict(sample_report().diagnoses[0])
+        payload["issue"] = "quantum_flux"
+        with pytest.raises(ReproError):
+            diagnosis_from_dict(payload)
+
+    def test_missing_fields(self):
+        with pytest.raises(ReproError):
+            report_from_dict({"schema_version": SCHEMA_VERSION})
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError):
+            load_report(path)
+
+    def test_bad_mitigation(self):
+        payload = diagnosis_to_dict(sample_report().diagnoses[0])
+        payload["mitigations"] = ["wishful_thinking"]
+        with pytest.raises(ReproError):
+            diagnosis_from_dict(payload)

@@ -1,0 +1,174 @@
+"""Unit and property tests for the streaming statistics helpers."""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    SIZE_BIN_EDGES,
+    SIZE_BIN_LABELS,
+    CommonValueTracker,
+    RunningStats,
+    SizeHistogram,
+    gini_coefficient,
+    size_bin_index,
+)
+
+
+class TestRunningStats:
+    def test_empty(self):
+        stats = RunningStats()
+        assert stats.count == 0
+        assert stats.variance == 0.0
+        assert stats.total == 0.0
+
+    def test_single_value(self):
+        stats = RunningStats()
+        stats.add(5.0)
+        assert stats.mean == 5.0
+        assert stats.variance == 0.0
+        assert stats.minimum == 5.0
+        assert stats.maximum == 5.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=100))
+    def test_matches_batch_statistics(self, values):
+        stats = RunningStats()
+        for value in values:
+            stats.add(value)
+        assert stats.count == len(values)
+        assert stats.mean == pytest.approx(statistics.fmean(values), abs=1e-6)
+        assert stats.variance == pytest.approx(
+            statistics.pvariance(values), rel=1e-6, abs=1e-6
+        )
+        assert stats.minimum == min(values)
+        assert stats.maximum == max(values)
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+    )
+    def test_merge_equals_combined_stream(self, left, right):
+        a = RunningStats()
+        for value in left:
+            a.add(value)
+        b = RunningStats()
+        for value in right:
+            b.add(value)
+        merged = a.merge(b)
+        combined = RunningStats()
+        for value in left + right:
+            combined.add(value)
+        assert merged.count == combined.count
+        assert merged.mean == pytest.approx(combined.mean, rel=1e-9, abs=1e-9)
+        assert merged.variance == pytest.approx(
+            combined.variance, rel=1e-6, abs=1e-6
+        )
+
+    def test_merge_with_empty(self):
+        a = RunningStats()
+        a.add(1.0)
+        merged = a.merge(RunningStats())
+        assert merged.count == 1
+        assert merged.mean == 1.0
+        merged2 = RunningStats().merge(a)
+        assert merged2.count == 1
+
+    def test_stdev(self):
+        stats = RunningStats()
+        for value in (2.0, 4.0):
+            stats.add(value)
+        assert stats.stdev == pytest.approx(1.0)
+
+
+class TestSizeBins:
+    def test_zero(self):
+        assert size_bin_index(0) == 0
+
+    def test_bin_edges_are_exclusive_upper(self):
+        for index, edge in enumerate(SIZE_BIN_EDGES):
+            assert size_bin_index(edge - 1) == index
+            assert size_bin_index(edge) == index + 1
+
+    def test_huge_goes_to_last_bin(self):
+        assert size_bin_index(10**12) == len(SIZE_BIN_LABELS) - 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            size_bin_index(-1)
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_index_in_range_property(self, size):
+        assert 0 <= size_bin_index(size) < len(SIZE_BIN_LABELS)
+
+
+class TestSizeHistogram:
+    def test_total_conservation(self):
+        histogram = SizeHistogram()
+        sizes = [0, 99, 100, 1024, 4 * 1024 * 1024, 10**10]
+        for size in sizes:
+            histogram.add(size)
+        assert histogram.total == len(sizes)
+
+    @given(st.lists(st.integers(0, 2**34), max_size=200))
+    def test_total_equals_adds_property(self, sizes):
+        histogram = SizeHistogram()
+        for size in sizes:
+            histogram.add(size)
+        assert histogram.total == len(sizes)
+
+    def test_fraction_below_edge(self):
+        histogram = SizeHistogram()
+        histogram.add(512)  # bin 100_1K
+        histogram.add(2 * 1024 * 1024)  # bin 1M_4M
+        assert histogram.fraction_below(1_048_576) == pytest.approx(0.5)
+
+    def test_fraction_below_empty(self):
+        assert SizeHistogram().fraction_below(1_048_576) == 0.0
+
+
+class TestCommonValueTracker:
+    def test_top_ordering(self):
+        tracker = CommonValueTracker()
+        for _ in range(5):
+            tracker.add(100)
+        for _ in range(3):
+            tracker.add(200)
+        tracker.add(300)
+        top = tracker.top(2)
+        assert top == [(100, 5), (200, 3)]
+
+    def test_tie_breaks_to_smaller_value(self):
+        tracker = CommonValueTracker()
+        tracker.add(9)
+        tracker.add(5)
+        assert tracker.top(1) == [(5, 1)]
+
+    def test_top_empty(self):
+        assert CommonValueTracker().top() == []
+
+
+class TestGini:
+    def test_equal_distribution(self):
+        assert gini_coefficient([5.0, 5.0, 5.0, 5.0]) == pytest.approx(0.0)
+
+    def test_fully_skewed(self):
+        value = gini_coefficient([0.0] * 99 + [100.0])
+        assert value > 0.95
+
+    def test_empty_and_zero(self):
+        assert gini_coefficient([]) == 0.0
+        assert gini_coefficient([0.0, 0.0]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([-1.0, 2.0])
+
+    @given(st.lists(st.floats(0, 1e9), min_size=1, max_size=100))
+    def test_bounds_property(self, values):
+        value = gini_coefficient(values)
+        assert -1e-9 <= value < 1.0 or math.isclose(value, 0.0, abs_tol=1e-9)

@@ -1,0 +1,101 @@
+"""Tests for the darshan-job-summary equivalent."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.darshan.binformat import write_log
+from repro.darshan.cli import main as summary_cli
+from repro.darshan.summary import render_summary, summarize
+from repro.workloads.e2e import E2eBaseline
+from repro.workloads.ior import IorConfig, IorWorkload
+from repro.util.units import KIB, MIB
+
+
+@pytest.fixture(scope="module")
+def e2e_log():
+    return E2eBaseline().run(scale=0.02).log
+
+
+class TestSummarize:
+    def test_module_totals(self, easy_2k_bundle):
+        summary = summarize(easy_2k_bundle.log)
+        posix = summary.modules["POSIX"]
+        assert posix.records == 4
+        assert posix.reads == 4096
+        assert posix.writes == 4096
+        assert posix.bytes_written == 4096 * 2 * KIB
+        assert posix.io_time > 0
+        assert "MPI-IO" not in summary.modules
+
+    def test_histograms_match_counters(self, easy_2k_bundle):
+        summary = summarize(easy_2k_bundle.log)
+        assert sum(summary.write_histogram) == 4096
+        assert sum(summary.read_histogram) == 4096
+
+    def test_file_activity(self, easy_2k_bundle):
+        summary = summarize(easy_2k_bundle.log)
+        activity = next(iter(summary.files.values()))
+        assert activity.ops == 8192
+        assert len(activity.ranks) == 4
+
+    def test_mpiio_totals(self, e2e_log):
+        summary = summarize(e2e_log)
+        assert summary.modules["MPI-IO"].writes == summary.modules["POSIX"].writes
+
+    def test_rank_bytes_expose_imbalance(self, e2e_log):
+        summary = summarize(e2e_log)
+        peak = max(summary.rank_bytes.values())
+        mean = sum(summary.rank_bytes.values()) / len(summary.rank_bytes)
+        assert peak > 5 * mean  # rank-0 fill dominance
+
+
+class TestRenderSummary:
+    def test_sections_present(self, e2e_log):
+        text = render_summary(e2e_log)
+        assert "per-module activity" in text
+        assert "POSIX access sizes" in text
+        assert "busiest files" in text
+        assert "per-rank data volume" in text
+        assert "3d_32_32_16_32_32_32.nc4" in text
+        assert "DXT:" in text
+
+    def test_top_files_limit(self):
+        bundle = IorWorkload(
+            config=IorConfig(
+                mode="easy", transfer_size=MIB, segments=8, nprocs=4,
+                file_per_process=True,
+            )
+        ).run()
+        text = render_summary(bundle.log, top_files=2)
+        assert "and 2 more files" in text
+
+    def test_quiet_trace(self):
+        bundle = IorWorkload(
+            config=IorConfig(mode="easy", transfer_size=MIB, segments=8, nprocs=1)
+        ).run()
+        text = render_summary(bundle.log)
+        assert "1 processes" in text
+
+
+class TestSummaryCli:
+    @pytest.fixture(scope="class")
+    def trace_path(self, easy_2k_bundle, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("summary-cli")
+        return str(write_log(easy_2k_bundle.log, directory / "t.darshan"))
+
+    def test_summary_mode(self, trace_path, capsys):
+        assert summary_cli([trace_path]) == 0
+        assert "Darshan job summary" in capsys.readouterr().out
+
+    def test_parser_mode(self, trace_path, capsys):
+        assert summary_cli([trace_path, "--parser"]) == 0
+        assert "POSIX_WRITES" in capsys.readouterr().out
+
+    def test_dxt_mode(self, trace_path, capsys):
+        assert summary_cli([trace_path, "--dxt"]) == 0
+        assert "# Module" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys, tmp_path):
+        assert summary_cli([str(tmp_path / "nope")]) == 1
+        assert "error" in capsys.readouterr().err

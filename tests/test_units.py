@@ -1,0 +1,109 @@
+"""Unit tests for byte-size parsing and formatting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.units import (
+    GIB,
+    KIB,
+    MIB,
+    TIB,
+    format_count,
+    format_percent,
+    format_size,
+    parse_size,
+)
+
+
+class TestParseSize:
+    def test_plain_integer(self):
+        assert parse_size(4096) == 4096
+
+    def test_plain_digit_string(self):
+        assert parse_size("512") == 512
+
+    @pytest.mark.parametrize(
+        ("text", "expected"),
+        [
+            ("2k", 2 * KIB),
+            ("2K", 2 * KIB),
+            ("2kb", 2 * KIB),
+            ("2KiB", 2 * KIB),
+            ("1m", MIB),
+            ("1MB", MIB),
+            ("1 MiB", MIB),
+            ("4g", 4 * GIB),
+            ("1tib", TIB),
+            ("0.5m", MIB // 2),
+        ],
+    )
+    def test_suffixes(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_whitespace_tolerated(self):
+        assert parse_size("  4 MiB  ") == 4 * MIB
+
+    def test_unknown_suffix_rejected(self):
+        with pytest.raises(ValueError, match="suffix"):
+            parse_size("4xb")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("")
+
+    def test_suffix_only_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("MiB")
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+    @given(st.integers(min_value=0, max_value=2**50))
+    def test_integer_passthrough_property(self, value):
+        assert parse_size(value) == value
+
+    @given(st.integers(min_value=1, max_value=2**20))
+    def test_kib_round_trip_property(self, value):
+        assert parse_size(f"{value}k") == value * KIB
+
+
+class TestFormatSize:
+    def test_bytes(self):
+        assert format_size(512) == "512 B"
+
+    def test_exact_mebibytes(self):
+        assert format_size(4 * MIB) == "4.00 MiB"
+
+    def test_kib(self):
+        assert format_size(2048) == "2.00 KiB"
+
+    def test_gib(self):
+        assert format_size(3 * GIB) == "3.00 GiB"
+
+    def test_tib(self):
+        assert format_size(2 * TIB) == "2.00 TiB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_size(-5)
+
+    @given(st.integers(min_value=0, max_value=2**48))
+    def test_never_raises_property(self, value):
+        text = format_size(value)
+        assert text
+        assert any(text.endswith(suffix) for suffix in ("B", "KiB", "MiB", "GiB", "TiB"))
+
+
+class TestFormatHelpers:
+    def test_format_count_thousands(self):
+        assert format_count(1234567) == "1,234,567"
+
+    def test_format_percent(self):
+        assert format_percent(0.998) == "99.80%"
+
+    def test_format_percent_digits(self):
+        assert format_percent(0.5, digits=0) == "50%"

@@ -1,0 +1,172 @@
+"""Tests that the log validator catches violated invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.darshan.log import DarshanLog
+from repro.darshan.records import DxtSegment, JobRecord, ModuleRecord, NameRecord
+from repro.darshan.validate import validate_log
+from repro.util.errors import DarshanValidationError
+
+
+def empty_log(nprocs=2, end_time=10.0):
+    return DarshanLog(
+        job=JobRecord(
+            job_id=1, uid=1, nprocs=nprocs, start_time=0.0, end_time=end_time
+        )
+    )
+
+
+def add_posix(log, rank=0, **counters):
+    log.add_name(NameRecord(1, "/a"))
+    fcounters = counters.pop("fcounters", {})
+    log.add_record(
+        ModuleRecord(
+            module="POSIX", record_id=1, rank=rank,
+            counters=counters, fcounters=fcounters,
+        )
+    )
+
+
+class TestJobChecks:
+    def test_valid_empty_log(self):
+        validate_log(empty_log())
+
+    def test_bad_nprocs(self):
+        log = DarshanLog(
+            job=JobRecord(job_id=1, uid=1, nprocs=0, start_time=0, end_time=1)
+        )
+        with pytest.raises(DarshanValidationError, match="nprocs"):
+            validate_log(log)
+
+    def test_job_time_travel(self):
+        log = DarshanLog(
+            job=JobRecord(job_id=1, uid=1, nprocs=1, start_time=5, end_time=1)
+        )
+        with pytest.raises(DarshanValidationError, match="ends before"):
+            validate_log(log)
+
+    def test_rank_out_of_range(self):
+        log = empty_log(nprocs=2)
+        add_posix(log, rank=5, POSIX_WRITES=0)
+        with pytest.raises(DarshanValidationError, match="nprocs"):
+            validate_log(log)
+
+
+class TestCounterChecks:
+    def test_negative_counter(self):
+        log = empty_log()
+        add_posix(log, POSIX_BYTES_READ=-5)
+        with pytest.raises(DarshanValidationError, match="negative"):
+            validate_log(log)
+
+    def test_histogram_mismatch(self):
+        log = empty_log()
+        add_posix(log, POSIX_WRITES=3, POSIX_SIZE_WRITE_0_100=1)
+        with pytest.raises(DarshanValidationError, match="histogram"):
+            validate_log(log)
+
+    def test_consec_seq_ordering(self):
+        log = empty_log()
+        add_posix(
+            log,
+            POSIX_WRITES=2,
+            POSIX_SIZE_WRITE_0_100=2,
+            POSIX_CONSEC_WRITES=2,
+            POSIX_SEQ_WRITES=1,
+        )
+        with pytest.raises(DarshanValidationError, match="CONSEC"):
+            validate_log(log)
+
+    def test_misaligned_exceeds_ops(self):
+        log = empty_log()
+        add_posix(
+            log,
+            POSIX_WRITES=1,
+            POSIX_SIZE_WRITE_0_100=1,
+            POSIX_FILE_NOT_ALIGNED=5,
+        )
+        with pytest.raises(DarshanValidationError, match="FILE_NOT_ALIGNED"):
+            validate_log(log)
+
+    def test_max_time_exceeds_total(self):
+        log = empty_log()
+        add_posix(
+            log,
+            POSIX_WRITES=1,
+            POSIX_SIZE_WRITE_0_100=1,
+            fcounters={
+                "POSIX_F_WRITE_TIME": 0.5,
+                "POSIX_F_MAX_WRITE_TIME": 1.5,
+            },
+        )
+        with pytest.raises(DarshanValidationError, match="MAX_WRITE_TIME"):
+            validate_log(log)
+
+    def test_max_time_exceeds_run_time(self):
+        log = empty_log(end_time=1.0)
+        add_posix(
+            log,
+            POSIX_WRITES=1,
+            POSIX_SIZE_WRITE_0_100=1,
+            fcounters={
+                "POSIX_F_WRITE_TIME": 5.0,
+                "POSIX_F_MAX_WRITE_TIME": 5.0,
+            },
+        )
+        with pytest.raises(DarshanValidationError, match="run time"):
+            validate_log(log)
+
+
+class TestDxtChecks:
+    def _log_with_dxt(self, segment_count, writes):
+        log = empty_log()
+        log.add_name(NameRecord(1, "/a"))
+        counters = {
+            "POSIX_WRITES": writes,
+            "POSIX_BYTES_WRITTEN": segment_count * 100,
+            f"POSIX_SIZE_WRITE_100_1K": writes,
+        }
+        log.add_record(
+            ModuleRecord(module="POSIX", record_id=1, rank=0, counters=counters)
+        )
+        for index in range(segment_count):
+            log.add_dxt(
+                DxtSegment(
+                    "X_POSIX", 1, 0, "write", index * 100, 100,
+                    float(index), float(index) + 0.1,
+                )
+            )
+        return log
+
+    def test_dxt_count_matches(self):
+        validate_log(self._log_with_dxt(segment_count=2, writes=2))
+
+    def test_dxt_count_mismatch(self):
+        with pytest.raises(DarshanValidationError, match="DXT"):
+            validate_log(self._log_with_dxt(segment_count=2, writes=3))
+
+    def test_dxt_byte_mismatch(self):
+        log = self._log_with_dxt(segment_count=2, writes=2)
+        log.records["POSIX"][0].counters["POSIX_BYTES_WRITTEN"] = 999
+        with pytest.raises(DarshanValidationError, match="bytes"):
+            validate_log(log)
+
+    def test_byte_check_can_be_skipped(self):
+        log = self._log_with_dxt(segment_count=2, writes=2)
+        log.records["POSIX"][0].counters["POSIX_BYTES_WRITTEN"] = 999
+        validate_log(log, check_dxt_bytes=False)
+
+
+class TestWorkloadTraces:
+    """Every canned workload must produce a valid log (integration)."""
+
+    def test_easy_trace_valid(self, easy_2k_bundle):
+        validate_log(easy_2k_bundle.log)
+
+    def test_hard_trace_valid(self, hard_bundle):
+        validate_log(hard_bundle.log)
+
+    def test_random_trace_valid(self, random_bundle):
+        validate_log(random_bundle.log)

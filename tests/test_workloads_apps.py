@@ -1,0 +1,195 @@
+"""Tests for MD-Workbench, OpenPMD and E2E workload replays."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.darshan.validate import validate_log
+from repro.ion.issues import IssueType, MitigationNote
+from repro.util.errors import WorkloadConfigError
+from repro.util.stats import SIZE_BIN_LABELS
+from repro.workloads.e2e import E2eBaseline, E2eConfig, E2eOptimized, NC4_HEADER
+from repro.workloads.mdworkbench import MdWorkbenchConfig, MdWorkbenchWorkload
+from repro.workloads.openpmd import OpenPmdBaseline, OpenPmdConfig, OpenPmdOptimized
+
+
+def posix_totals(log):
+    posix = log.records_for("POSIX")
+    return {
+        "reads": sum(r.counters["POSIX_READS"] for r in posix),
+        "writes": sum(r.counters["POSIX_WRITES"] for r in posix),
+        "misaligned": sum(r.counters["POSIX_FILE_NOT_ALIGNED"] for r in posix),
+        "opens": sum(r.counters["POSIX_OPENS"] for r in posix),
+        "stats": sum(r.counters["POSIX_STATS"] for r in posix),
+        "bytes_by_rank": {
+            r.rank: r.counters["POSIX_BYTES_READ"] + r.counters["POSIX_BYTES_WRITTEN"]
+            for r in posix
+        },
+    }
+
+
+class TestMdWorkbench:
+    @pytest.fixture(scope="class")
+    def bundle(self):
+        return MdWorkbenchWorkload(
+            config=MdWorkbenchConfig(nprocs=2, files_per_rank=8, iterations=5)
+        ).run()
+
+    def test_valid_trace(self, bundle):
+        validate_log(bundle.log)
+
+    def test_metadata_dominates(self, bundle):
+        totals = posix_totals(bundle.log)
+        meta = totals["opens"] + totals["stats"]
+        data = totals["reads"] + totals["writes"]
+        assert meta / (meta + data) > 0.4
+
+    def test_many_files(self, bundle):
+        assert len(bundle.log.file_ids("POSIX")) == 16
+
+    def test_truth(self, bundle):
+        assert IssueType.METADATA_LOAD in bundle.truth.issues
+        assert IssueType.SMALL_IO in bundle.truth.issues
+
+    def test_object_size_validated(self):
+        with pytest.raises(WorkloadConfigError):
+            MdWorkbenchConfig(object_size=10 * 1024 * 1024)
+
+    def test_counts_validated(self):
+        with pytest.raises(WorkloadConfigError):
+            MdWorkbenchConfig(nprocs=0)
+
+
+class TestOpenPmdBaseline:
+    @pytest.fixture(scope="class")
+    def bundle(self):
+        return OpenPmdBaseline().run(scale=0.03)
+
+    def test_valid_trace(self, bundle):
+        validate_log(bundle.log)
+
+    def test_everything_misaligned(self, bundle):
+        totals = posix_totals(bundle.log)
+        ops = totals["reads"] + totals["writes"]
+        assert totals["misaligned"] / ops > 0.99
+
+    def test_small_fraction_matches_paper(self, bundle):
+        posix = bundle.log.records_for("POSIX")
+        small = 0
+        ops = 0
+        for record in posix:
+            for label in SIZE_BIN_LABELS[:5]:  # < 1 MiB
+                small += record.counters[f"POSIX_SIZE_READ_{label}"]
+                small += record.counters[f"POSIX_SIZE_WRITE_{label}"]
+            ops += record.counters["POSIX_READS"] + record.counters["POSIX_WRITES"]
+        assert small / ops == pytest.approx(0.9878, abs=0.01)
+
+    def test_independent_mpiio_only(self, bundle):
+        mpiio = bundle.log.records_for("MPI-IO")
+        assert sum(r.counters["MPIIO_COLL_WRITES"] for r in mpiio) == 0
+        assert sum(r.counters["MPIIO_INDEP_WRITES"] for r in mpiio) > 0
+
+    def test_main_file_gets_most_small_writes(self, bundle):
+        per_file_writes = {}
+        for record in bundle.log.records_for("POSIX"):
+            path = bundle.log.path_for(record.record_id)
+            per_file_writes[path] = (
+                per_file_writes.get(path, 0) + record.counters["POSIX_WRITES"]
+            )
+        total = sum(per_file_writes.values())
+        main = per_file_writes["/lustre/run0/8a_parallel_3Db_0000001.h5"]
+        assert main / total == pytest.approx(0.6438, abs=0.03)
+
+    def test_truth(self, bundle):
+        assert IssueType.SMALL_IO in bundle.truth.issues
+        assert MitigationNote.AGGREGATABLE in bundle.truth.mitigations
+
+
+class TestOpenPmdOptimized:
+    @pytest.fixture(scope="class")
+    def bundle(self):
+        return OpenPmdOptimized().run(scale=0.05)
+
+    def test_valid_trace(self, bundle):
+        validate_log(bundle.log)
+
+    def test_small_ops_are_minority(self, bundle):
+        posix = bundle.log.records_for("POSIX")
+        small = 0
+        ops = 0
+        for record in posix:
+            for label in SIZE_BIN_LABELS[:5]:
+                small += record.counters[f"POSIX_SIZE_READ_{label}"]
+                small += record.counters[f"POSIX_SIZE_WRITE_{label}"]
+            ops += record.counters["POSIX_READS"] + record.counters["POSIX_WRITES"]
+        assert small / ops < 0.10
+
+    def test_collectives_restored(self, bundle):
+        mpiio = bundle.log.records_for("MPI-IO")
+        assert sum(r.counters["MPIIO_COLL_WRITES"] for r in mpiio) > 0
+
+    def test_truth(self, bundle):
+        assert bundle.truth.issues == frozenset({IssueType.RANDOM_ACCESS})
+        assert MitigationNote.LOW_VOLUME in bundle.truth.mitigations
+
+
+class TestE2eBaseline:
+    @pytest.fixture(scope="class")
+    def bundle(self):
+        return E2eBaseline().run(scale=0.03)
+
+    def test_valid_trace(self, bundle):
+        validate_log(bundle.log)
+
+    def test_rank0_dominates(self, bundle):
+        totals = posix_totals(bundle.log)["bytes_by_rank"]
+        others = [v for rank, v in totals.items() if rank != 0]
+        assert totals[0] > 10 * (sum(others) / len(others))
+
+    def test_header_offset_misaligns_everything(self, bundle):
+        totals = posix_totals(bundle.log)
+        ops = totals["reads"] + totals["writes"]
+        assert totals["misaligned"] / ops > 0.99
+
+    def test_file_name_matches_paper(self, bundle):
+        paths = [bundle.log.path_for(f) for f in bundle.log.file_ids("POSIX")]
+        assert paths == ["/lustre/e2e/3d_32_32_16_32_32_32.nc4"]
+
+    def test_header_is_odd(self):
+        assert NC4_HEADER % 2 == 1
+
+    def test_truth(self, bundle):
+        assert IssueType.RANK_ZERO_BOTTLENECK in bundle.truth.issues
+        assert IssueType.LOAD_IMBALANCE in bundle.truth.issues
+
+
+class TestE2eOptimized:
+    @pytest.fixture(scope="class")
+    def bundle(self):
+        return E2eOptimized(config=E2eConfig(nprocs=256, aggregators=16)).run(
+            scale=0.25
+        )
+
+    def test_valid_trace(self, bundle):
+        validate_log(bundle.log)
+
+    def test_aggregator_subset_does_nearly_all_writes(self, bundle):
+        posix = bundle.log.records_for("POSIX")
+        writers = {
+            r.rank: r.counters["POSIX_WRITES"]
+            for r in posix
+            if r.counters["POSIX_WRITES"]
+        }
+        total = sum(writers.values())
+        aggregators = bundle.parameters["aggregators"]
+        top = sorted(writers.values(), reverse=True)[:aggregators]
+        assert sum(top) / total > 0.95
+
+    def test_still_misaligned(self, bundle):
+        totals = posix_totals(bundle.log)
+        ops = totals["reads"] + totals["writes"]
+        assert totals["misaligned"] / ops > 0.95
+
+    def test_truth(self, bundle):
+        assert bundle.truth.issues == frozenset({IssueType.MISALIGNED_IO})
+        assert MitigationNote.ALGORITHMIC_SKEW in bundle.truth.mitigations

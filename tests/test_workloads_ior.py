@@ -1,0 +1,202 @@
+"""Tests for the IOR workload family."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ion.issues import IssueType, MitigationNote
+from repro.util.errors import WorkloadConfigError
+from repro.util.units import KIB, MIB
+from repro.workloads.base import scaled
+from repro.workloads.ior import IOR_HARD_TRANSFER, IorConfig, IorWorkload
+
+
+class TestConfigValidation:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(WorkloadConfigError):
+            IorConfig(mode="impossible")
+
+    def test_bad_api_rejected(self):
+        with pytest.raises(WorkloadConfigError):
+            IorConfig(api="NFS")
+
+    def test_hard_mode_requires_shared_file(self):
+        with pytest.raises(WorkloadConfigError):
+            IorConfig(mode="hard", file_per_process=True)
+
+    def test_collective_requires_mpiio(self):
+        with pytest.raises(WorkloadConfigError):
+            IorConfig(api="POSIX", collective=True)
+
+    def test_size_strings_parsed(self):
+        config = IorConfig(transfer_size="2k")
+        assert config.transfer_size == 2 * KIB
+
+    def test_scaled_helper(self):
+        assert scaled(1000, 0.5) == 500
+        assert scaled(10, 0.001, minimum=4) == 4
+        with pytest.raises(WorkloadConfigError):
+            scaled(10, 0)
+
+
+class TestEasyMode:
+    @pytest.fixture(scope="class")
+    def bundle(self):
+        return IorWorkload(
+            config=IorConfig(
+                mode="easy", transfer_size=2 * KIB, segments=1024, nprocs=4
+            ),
+            name="easy",
+        ).run()
+
+    def test_misalignment_matches_paper(self, bundle):
+        posix = bundle.log.records_for("POSIX")
+        ops = sum(
+            r.counters["POSIX_READS"] + r.counters["POSIX_WRITES"] for r in posix
+        )
+        misaligned = sum(r.counters["POSIX_FILE_NOT_ALIGNED"] for r in posix)
+        assert ops == 8192
+        # 2 KiB transfers on a 1 MiB stripe: exactly 2 aligned ops per
+        # rank per phase, i.e. the paper's 99.80%.
+        assert misaligned / ops == pytest.approx(0.998, abs=1e-4)
+
+    def test_consecutive_dominates(self, bundle):
+        posix = bundle.log.records_for("POSIX")
+        consec = sum(
+            r.counters["POSIX_CONSEC_READS"] + r.counters["POSIX_CONSEC_WRITES"]
+            for r in posix
+        )
+        assert consec >= 8184  # paper: 8184 of 8192 aggregatable
+
+    def test_one_shared_file(self, bundle):
+        assert len(bundle.log.file_ids("POSIX")) == 1
+        assert len({r.rank for r in bundle.log.records_for("POSIX")}) == 4
+
+    def test_truth_labels(self, bundle):
+        truth = bundle.truth
+        assert IssueType.SMALL_IO in truth.issues
+        assert IssueType.MISALIGNED_IO in truth.issues
+        assert IssueType.NO_MPIIO in truth.issues
+        assert MitigationNote.AGGREGATABLE in truth.mitigations
+        assert MitigationNote.NON_OVERLAPPING in truth.mitigations
+
+
+class TestEasyVariants:
+    def test_1m_shared_is_aligned(self):
+        bundle = IorWorkload(
+            config=IorConfig(mode="easy", transfer_size=MIB, segments=64, nprocs=4)
+        ).run()
+        posix = bundle.log.records_for("POSIX")
+        assert sum(r.counters["POSIX_FILE_NOT_ALIGNED"] for r in posix) == 0
+        assert IssueType.MISALIGNED_IO not in bundle.truth.issues
+
+    def test_file_per_process_creates_n_files(self):
+        bundle = IorWorkload(
+            config=IorConfig(
+                mode="easy", transfer_size=MIB, segments=16, nprocs=4,
+                file_per_process=True,
+            )
+        ).run()
+        assert len(bundle.log.file_ids("POSIX")) == 4
+        for file_id in bundle.log.file_ids("POSIX"):
+            ranks = {r.rank for r in bundle.log.records_for_file("POSIX", file_id)}
+            assert len(ranks) == 1
+
+    def test_no_read_back_halves_ops(self):
+        bundle = IorWorkload(
+            config=IorConfig(
+                mode="easy", transfer_size=MIB, segments=16, nprocs=2,
+                read_back=False,
+            )
+        ).run()
+        posix = bundle.log.records_for("POSIX")
+        assert sum(r.counters["POSIX_READS"] for r in posix) == 0
+        assert sum(r.counters["POSIX_WRITES"] for r in posix) == 32
+
+
+class TestHardMode:
+    def test_strided_non_consecutive(self, hard_bundle):
+        posix = hard_bundle.log.records_for("POSIX")
+        consec = sum(
+            r.counters["POSIX_CONSEC_WRITES"] + r.counters["POSIX_CONSEC_READS"]
+            for r in posix
+        )
+        seq = sum(
+            r.counters["POSIX_SEQ_WRITES"] + r.counters["POSIX_SEQ_READS"]
+            for r in posix
+        )
+        assert consec == 0
+        assert seq > 0  # strided forward
+
+    def test_odd_transfer_size_misaligns_nearly_everything(self, hard_bundle):
+        posix = hard_bundle.log.records_for("POSIX")
+        ops = sum(
+            r.counters["POSIX_READS"] + r.counters["POSIX_WRITES"] for r in posix
+        )
+        misaligned = sum(r.counters["POSIX_FILE_NOT_ALIGNED"] for r in posix)
+        assert misaligned / ops > 0.999
+
+    def test_transfer_size_is_ior_default(self):
+        assert IOR_HARD_TRANSFER == 47008
+
+    def test_truth_includes_contention(self, hard_bundle):
+        assert IssueType.SHARED_FILE_CONTENTION in hard_bundle.truth.issues
+
+
+class TestRandomMode:
+    def test_backward_jumps_present(self, random_bundle):
+        posix = random_bundle.log.records_for("POSIX")
+        ops = sum(
+            r.counters["POSIX_READS"] + r.counters["POSIX_WRITES"] for r in posix
+        )
+        seq = sum(
+            r.counters["POSIX_SEQ_READS"] + r.counters["POSIX_SEQ_WRITES"]
+            for r in posix
+        )
+        assert seq / ops < 0.7  # a random permutation is far from sequential
+
+    def test_misalignment_near_paper_value(self, random_bundle):
+        posix = random_bundle.log.records_for("POSIX")
+        ops = sum(
+            r.counters["POSIX_READS"] + r.counters["POSIX_WRITES"] for r in posix
+        )
+        misaligned = sum(r.counters["POSIX_FILE_NOT_ALIGNED"] for r in posix)
+        # 4 KiB slots on a 1 MiB stripe: 255/256 misaligned (99.61%).
+        assert misaligned / ops == pytest.approx(0.9961, abs=0.01)
+
+    def test_deterministic_given_seed(self):
+        config = dict(mode="random", transfer_size=4 * KIB, segments=64, nprocs=2)
+        first = IorWorkload(config=IorConfig(**config)).run()
+        second = IorWorkload(config=IorConfig(**config)).run()
+        offsets_first = [s.offset for s in first.log.dxt_segments]
+        offsets_second = [s.offset for s in second.log.dxt_segments]
+        assert offsets_first == offsets_second
+
+    def test_truth_labels(self, random_bundle):
+        truth = random_bundle.truth
+        assert IssueType.RANDOM_ACCESS in truth.issues
+        assert IssueType.SHARED_FILE_CONTENTION in truth.issues
+
+
+class TestMpiioApi:
+    def test_independent_mpiio_run(self):
+        bundle = IorWorkload(
+            config=IorConfig(
+                mode="easy", api="MPIIO", transfer_size=MIB, segments=8, nprocs=2
+            )
+        ).run()
+        mpiio = bundle.log.records_for("MPI-IO")
+        assert sum(r.counters["MPIIO_INDEP_WRITES"] for r in mpiio) == 16
+        assert IssueType.NO_COLLECTIVE in bundle.truth.issues
+        assert IssueType.NO_MPIIO not in bundle.truth.issues
+
+    def test_collective_mpiio_run(self):
+        bundle = IorWorkload(
+            config=IorConfig(
+                mode="easy", api="MPIIO", collective=True, transfer_size=MIB,
+                segments=8, nprocs=2,
+            )
+        ).run()
+        mpiio = bundle.log.records_for("MPI-IO")
+        assert sum(r.counters["MPIIO_COLL_WRITES"] for r in mpiio) == 16
+        assert IssueType.NO_COLLECTIVE not in bundle.truth.issues
