@@ -1,0 +1,23 @@
+# Convenience wrappers around the tier-1 verification commands.
+#
+#   make test        default suite (stress tests marked `slow` excluded)
+#   make test-slow   only the heavyweight stress tests
+#   make test-all    everything
+#   make golden      regenerate the golden report snapshots
+
+PYTHON ?= python
+PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: test test-slow test-all golden
+
+test:
+	$(PYTEST) -x -q
+
+test-slow:
+	$(PYTEST) -q -m slow
+
+test-all:
+	$(PYTEST) -q -m ""
+
+golden:
+	ION_REGEN_GOLDEN=1 $(PYTEST) -q tests/test_golden_report.py

@@ -18,6 +18,8 @@ Subpackages:
 - :mod:`repro.drishti` — the trigger-based baseline tool.
 - :mod:`repro.evaluation` — ground-truth scoring and regeneration of
   the paper's figures.
+- :mod:`repro.service` — batch diagnosis: the content-addressed
+  extraction cache and the bounded-concurrency campaign scheduler.
 
 Quickstart::
 
@@ -30,7 +32,9 @@ Quickstart::
 """
 
 from repro.ion.pipeline import IoNavigator
+from repro.service.batch import BatchNavigator
+from repro.service.cache import ExtractionCache
 
 __version__ = "1.0.0"
 
-__all__ = ["IoNavigator", "__version__"]
+__all__ = ["BatchNavigator", "ExtractionCache", "IoNavigator", "__version__"]

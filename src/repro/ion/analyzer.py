@@ -38,6 +38,7 @@ from repro.llm.expert.model import SimulatedExpertLLM, parse_conclusions
 from repro.llm.interpreter import CodeInterpreter
 from repro.llm.messages import Message
 from repro.util.errors import AnalysisError
+from repro.util.metrics import MetricsRegistry
 
 _SEVERITY_RE = re.compile(r"\[severity=(\w+)\]")
 _MITIGATIONS_RE = re.compile(r"\[mitigations=([\w,\s]+)\]")
@@ -62,12 +63,18 @@ class AnalyzerConfig:
         default_factory=lambda: tuple(default_issue_order())
     )
     max_tool_rounds: int = 6
+    #: Size of the thread pool dispatching per-issue prompts; 1 runs
+    #: the prompts sequentially.
     parallel_prompts: int = 4
     summarize: bool = True
 
     def __post_init__(self) -> None:
         if self.strategy not in ("divide", "monolithic"):
             raise AnalysisError(f"unknown strategy {self.strategy!r}")
+        if self.parallel_prompts < 1:
+            raise AnalysisError("parallel_prompts must be at least 1")
+        if self.max_tool_rounds < 1:
+            raise AnalysisError("max_tool_rounds must be at least 1")
         if self.context_source not in ("static", "retrieval"):
             raise AnalysisError(
                 f"unknown context source {self.context_source!r}"
@@ -82,10 +89,14 @@ class Analyzer:
     """Runs the full per-issue diagnosis over one extraction."""
 
     def __init__(
-        self, client: LLMClient | None = None, config: AnalyzerConfig | None = None
+        self,
+        client: LLMClient | None = None,
+        config: AnalyzerConfig | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.client = client or SimulatedExpertLLM()
         self.config = config or AnalyzerConfig()
+        self.metrics = metrics or MetricsRegistry()
 
     # -- public API ------------------------------------------------------
 
@@ -93,13 +104,15 @@ class Analyzer:
         self, extraction: ExtractionResult, trace_name: str = "trace"
     ) -> DiagnosisReport:
         """Produce the full diagnosis report for one extracted trace."""
-        if self.config.strategy == "divide":
-            diagnoses = self._analyze_divide(extraction, trace_name)
-        else:
-            diagnoses = self._analyze_monolithic(extraction, trace_name)
-        report = DiagnosisReport(trace_name=trace_name, diagnoses=diagnoses)
-        if self.config.summarize:
-            report.summary = self._summarize(trace_name, diagnoses)
+        with self.metrics.timer("analyzer.analyze.seconds").time():
+            if self.config.strategy == "divide":
+                diagnoses = self._analyze_divide(extraction, trace_name)
+            else:
+                diagnoses = self._analyze_monolithic(extraction, trace_name)
+            report = DiagnosisReport(trace_name=trace_name, diagnoses=diagnoses)
+            if self.config.summarize:
+                report.summary = self._summarize(trace_name, diagnoses)
+        self.metrics.counter("analyzer.reports").inc()
         return report
 
     # -- strategies ----------------------------------------------------------
@@ -171,6 +184,7 @@ class Analyzer:
     # -- plumbing ---------------------------------------------------------------
 
     def _run_prompt(self, prompt: str, extraction: ExtractionResult) -> Run:
+        self.metrics.counter("analyzer.prompts").inc()
         interpreter = CodeInterpreter(extraction.directory)
         assistant = Assistant(
             client=self.client,

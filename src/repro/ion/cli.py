@@ -75,12 +75,16 @@ def main(argv: list[str] | None = None) -> int:
     config = AnalyzerConfig(
         strategy=args.strategy, include_context=not args.no_context
     )
-    navigator = IoNavigator(config=config, workdir=args.workdir)
-    try:
-        result = navigator.diagnose_file(args.trace)
-    except (ReproError, OSError) as exc:
-        print(f"ion: error: {exc}", file=sys.stderr)
-        return 1
+    with IoNavigator(config=config, workdir=args.workdir) as navigator:
+        try:
+            result = navigator.diagnose_file(args.trace)
+        except (ReproError, OSError) as exc:
+            print(f"ion: error: {exc}", file=sys.stderr)
+            return 1
+        return _emit(args, result)
+
+
+def _emit(args: argparse.Namespace, result) -> int:
     print(render_report(result.report, show_code=args.show_code))
     for question in args.ask:
         print(f"Q: {question}")

@@ -23,6 +23,7 @@ from repro.darshan.counters import counters_for, fcounters_for
 from repro.darshan.log import DarshanLog
 from repro.util.csvio import write_rows
 from repro.util.errors import ExtractionError
+from repro.util.metrics import MetricsRegistry
 from repro.util.units import MIB
 
 DXT_COLUMNS = (
@@ -66,10 +67,13 @@ class ExtractionResult:
 class Extractor:
     """Unpacks Darshan logs into the Analyzer's CSV interchange format."""
 
-    def __init__(self, rpc_size: int = 4 * MIB) -> None:
+    def __init__(
+        self, rpc_size: int = 4 * MIB, metrics: MetricsRegistry | None = None
+    ) -> None:
         # The RPC size is not recorded in Darshan logs; like the paper,
         # it enters as a system hyper-parameter (default: Lustre's 4 MiB).
         self.rpc_size = rpc_size
+        self.metrics = metrics or MetricsRegistry()
 
     def extract_file(self, log_path: str | Path, out_dir: str | Path) -> ExtractionResult:
         """Parse a binary log file and extract its CSVs."""
@@ -77,7 +81,17 @@ class Extractor:
 
     def extract(self, log: DarshanLog, out_dir: str | Path) -> ExtractionResult:
         """Extract CSVs for every module present in ``log``."""
-        directory = Path(out_dir)
+        with self.metrics.timer("extractor.extract.seconds").time():
+            result = self._extract(log, out_dir)
+        self.metrics.counter("extractor.extractions").inc()
+        self.metrics.counter("extractor.rows").inc(sum(result.row_counts.values()))
+        return result
+
+    def _extract(self, log: DarshanLog, out_dir: str | Path) -> ExtractionResult:
+        # Resolved so the CSV paths quoted in prompts stay valid inside
+        # the code interpreter's sandbox, whose relative-path handling
+        # is anchored to the extraction directory itself.
+        directory = Path(out_dir).resolve()
         directory.mkdir(parents=True, exist_ok=True)
         csv_paths: dict[str, Path] = {}
         columns: dict[str, list[str]] = {}

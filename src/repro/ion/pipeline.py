@@ -3,14 +3,25 @@
 Ties the Extractor, Analyzer and interactive session together, exactly
 following Figure 1 of the paper: binary Darshan log -> module CSVs ->
 parallel per-issue prompts -> diagnoses -> global summary -> Q&A.
+
+The navigator *owns* its scratch space: when no ``workdir`` is given,
+extraction CSVs land in one private temp directory that ``close()``
+(or use as a context manager) removes.  Passing an
+:class:`~repro.service.cache.ExtractionCache` instead routes
+extractions through the content-addressed cache, so repeated
+diagnoses of byte-identical traces skip the extraction stage
+entirely.
 """
 
 from __future__ import annotations
 
+import shutil
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
+from repro.darshan.binformat import read_log
 from repro.darshan.log import DarshanLog
 from repro.ion.analyzer import Analyzer, AnalyzerConfig
 from repro.ion.extractor import ExtractionResult, Extractor
@@ -18,7 +29,11 @@ from repro.ion.interactive import IonSession
 from repro.ion.issues import DiagnosisReport
 from repro.llm.client import LLMClient
 from repro.llm.expert.model import SimulatedExpertLLM
+from repro.util.metrics import MetricsRegistry
 from repro.util.units import MIB
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.service.cache import ExtractionCache
 
 
 @dataclass
@@ -28,6 +43,7 @@ class IonResult:
     report: DiagnosisReport
     extraction: ExtractionResult
     session: IonSession
+    cache_hit: bool = False
 
 
 class IoNavigator:
@@ -39,35 +55,88 @@ class IoNavigator:
         config: AnalyzerConfig | None = None,
         workdir: str | Path | None = None,
         rpc_size: int = 4 * MIB,
+        cache: "ExtractionCache | None" = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.client = client or SimulatedExpertLLM()
         self.config = config or AnalyzerConfig()
-        self.extractor = Extractor(rpc_size=rpc_size)
-        self.analyzer = Analyzer(client=self.client, config=self.config)
+        self.metrics = metrics or MetricsRegistry()
+        self.extractor = Extractor(rpc_size=rpc_size, metrics=self.metrics)
+        self.analyzer = Analyzer(
+            client=self.client, config=self.config, metrics=self.metrics
+        )
+        self.cache = cache
         self._workdir = Path(workdir) if workdir else None
+        self._scratch: Path | None = None
+        self._closed = False
+
+    # -- scratch ownership --------------------------------------------
 
     def _extraction_dir(self, trace_name: str) -> Path:
         if self._workdir is not None:
             path = self._workdir / trace_name
             path.mkdir(parents=True, exist_ok=True)
             return path
-        return Path(tempfile.mkdtemp(prefix=f"ion-{trace_name}-"))
+        if self._scratch is None:
+            self._scratch = Path(tempfile.mkdtemp(prefix="ion-"))
+        # Uniquify so two traces sharing a name cannot cross-pollute.
+        path = self._scratch / trace_name
+        suffix = 1
+        while path.exists():
+            suffix += 1
+            path = self._scratch / f"{trace_name}-{suffix}"
+        path.mkdir(parents=True)
+        return path
+
+    def close(self) -> None:
+        """Remove the navigator's private scratch directory.
+
+        User-supplied ``workdir`` contents and cache entries are left
+        alone — the navigator only deletes what it created.  Safe to
+        call more than once.
+        """
+        self._closed = True
+        if self._scratch is not None:
+            shutil.rmtree(self._scratch, ignore_errors=True)
+            self._scratch = None
+
+    def __enter__(self) -> "IoNavigator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- diagnosis ----------------------------------------------------
 
     def diagnose(self, log: DarshanLog, trace_name: str = "trace") -> IonResult:
         """Diagnose an in-memory Darshan log."""
-        extraction = self.extractor.extract(log, self._extraction_dir(trace_name))
-        return self._analyze(extraction, trace_name)
+        with self.metrics.timer("pipeline.diagnose.seconds").time():
+            extraction, hit = self._extract(log, trace_name)
+            return self._analyze(extraction, trace_name, cache_hit=hit)
 
     def diagnose_file(self, log_path: str | Path) -> IonResult:
         """Diagnose a binary Darshan log file."""
         log_path = Path(log_path)
         trace_name = log_path.stem
-        extraction = self.extractor.extract_file(
-            log_path, self._extraction_dir(trace_name)
-        )
-        return self._analyze(extraction, trace_name)
+        with self.metrics.timer("pipeline.diagnose.seconds").time():
+            extraction, hit = self._extract(read_log(log_path), trace_name)
+            return self._analyze(extraction, trace_name, cache_hit=hit)
 
-    def _analyze(self, extraction: ExtractionResult, trace_name: str) -> IonResult:
+    def _extract(
+        self, log: DarshanLog, trace_name: str
+    ) -> tuple[ExtractionResult, bool]:
+        if self.cache is not None:
+            return self.cache.get_or_extract(log, self.extractor)
+        return self.extractor.extract(log, self._extraction_dir(trace_name)), False
+
+    def _analyze(
+        self, extraction: ExtractionResult, trace_name: str, cache_hit: bool = False
+    ) -> IonResult:
         report = self.analyzer.analyze(extraction, trace_name)
         session = IonSession(report=report, client=self.client)
-        return IonResult(report=report, extraction=extraction, session=session)
+        return IonResult(
+            report=report,
+            extraction=extraction,
+            session=session,
+            cache_hit=cache_hit,
+        )

@@ -1,0 +1,25 @@
+"""Batch diagnosis service: extraction cache, scheduler, campaign CLI."""
+
+from repro.service.batch import (
+    BatchConfig,
+    BatchNavigator,
+    CampaignSummary,
+    TraceOutcome,
+)
+from repro.service.cache import (
+    CacheStats,
+    ExtractionCache,
+    extraction_key,
+    log_digest,
+)
+
+__all__ = [
+    "BatchConfig",
+    "BatchNavigator",
+    "CacheStats",
+    "CampaignSummary",
+    "ExtractionCache",
+    "TraceOutcome",
+    "extraction_key",
+    "log_digest",
+]

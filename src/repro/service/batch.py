@@ -1,0 +1,277 @@
+"""Batch diagnosis: fan a campaign of traces across a worker pool.
+
+The single-trace :class:`~repro.ion.pipeline.IoNavigator` answers "what
+is wrong with this run?"; a production deployment answers that question
+for *queues* of traces — nightly sweeps over every job on a system,
+ablation campaigns, regression farms.  :class:`BatchNavigator`
+schedules N traces over a bounded thread pool, reusing one
+:class:`~repro.ion.analyzer.Analyzer` per worker, routing extraction
+through the shared content-addressed cache when one is attached, and
+collecting per-trace successes *and failures* without ever aborting
+the rest of the campaign.
+
+The result is a :class:`CampaignSummary`: per-trace timing, cache
+hits, issue counts and errors, plus a snapshot of every pipeline
+metric.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.darshan.binformat import read_log
+from repro.darshan.log import DarshanLog
+from repro.ion.analyzer import Analyzer, AnalyzerConfig
+from repro.ion.extractor import ExtractionResult, Extractor
+from repro.ion.issues import DiagnosisReport
+from repro.llm.client import LLMClient
+from repro.llm.expert.model import SimulatedExpertLLM
+from repro.service.cache import CacheStats, ExtractionCache
+from repro.util.errors import BatchError
+from repro.util.metrics import MetricsRegistry
+from repro.util.units import MIB
+
+
+@dataclass
+class BatchConfig:
+    """Tunables of a batch campaign."""
+
+    #: Bound on concurrently diagnosed traces (each worker holds one
+    #: Analyzer for its lifetime).
+    max_workers: int = 4
+    analyzer: AnalyzerConfig = field(default_factory=AnalyzerConfig)
+    rpc_size: int = 4 * MIB
+    #: Abort the whole campaign on the first per-trace failure instead
+    #: of recording it and continuing.
+    fail_fast: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise BatchError("max_workers must be at least 1")
+
+
+@dataclass
+class TraceOutcome:
+    """What happened to one trace of the campaign."""
+
+    index: int
+    name: str
+    report: DiagnosisReport | None = None
+    extraction: ExtractionResult | None = None
+    error: str | None = None
+    duration_seconds: float = 0.0
+    cache_hit: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def issue_count(self) -> int:
+        """Issues flagged as affecting performance (0 on failure)."""
+        if self.report is None:
+            return 0
+        return sum(1 for d in self.report.diagnoses if d.detected)
+
+
+@dataclass
+class CampaignSummary:
+    """Aggregate result of one :meth:`BatchNavigator.run` call."""
+
+    outcomes: list[TraceOutcome]
+    elapsed_seconds: float
+    cache: CacheStats | None = None
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def succeeded(self) -> list[TraceOutcome]:
+        return [o for o in self.outcomes if o.ok]
+
+    @property
+    def failed(self) -> list[TraceOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def cache_hit_rate(self) -> float:
+        done = self.succeeded
+        if not done:
+            return 0.0
+        return sum(1 for o in done if o.cache_hit) / len(done)
+
+    def render(self) -> str:
+        """One-line-per-trace campaign table plus totals."""
+        lines = []
+        width = max([len(o.name) for o in self.outcomes] + [5])
+        for outcome in self.outcomes:
+            if outcome.ok:
+                status = f"{outcome.issue_count} issue(s)"
+                cached = "hit " if outcome.cache_hit else "miss"
+            else:
+                status = f"FAILED: {outcome.error}"
+                cached = "-   "
+            lines.append(
+                f"  {outcome.name:<{width}}  cache={cached}  "
+                f"{outcome.duration_seconds:7.3f}s  {status}"
+            )
+        lines.append(
+            f"{len(self.succeeded)}/{len(self.outcomes)} traces diagnosed "
+            f"in {self.elapsed_seconds:.3f}s "
+            f"(cache hit rate {self.cache_hit_rate:.0%})"
+        )
+        return "\n".join(lines)
+
+
+class BatchNavigator:
+    """Bounded-concurrency diagnosis over many traces.
+
+    Accepts the same trace shapes everywhere: a ``(name, DarshanLog)``
+    pair, a workload ``TraceBundle`` (anything with ``.name`` and
+    ``.log``), a bare :class:`DarshanLog`, or a path to a binary
+    ``.darshan`` file.
+    """
+
+    def __init__(
+        self,
+        client: LLMClient | None = None,
+        config: BatchConfig | None = None,
+        cache: ExtractionCache | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.client = client or SimulatedExpertLLM()
+        self.config = config or BatchConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self.cache = cache
+        self.extractor = Extractor(
+            rpc_size=self.config.rpc_size, metrics=self.metrics
+        )
+        self._local = threading.local()
+        self._scratch: Path | None = None
+        self._scratch_lock = threading.Lock()
+
+    # -- scratch ownership --------------------------------------------
+
+    def _extraction_dir(self, index: int, name: str) -> Path:
+        with self._scratch_lock:
+            if self._scratch is None:
+                self._scratch = Path(tempfile.mkdtemp(prefix="ion-batch-"))
+        # Index-prefixed so duplicate trace names stay isolated.
+        path = self._scratch / f"{index:04d}-{name}"
+        path.mkdir(parents=True)
+        return path
+
+    def close(self) -> None:
+        """Remove the batch scratch space (cache entries are kept)."""
+        if self._scratch is not None:
+            shutil.rmtree(self._scratch, ignore_errors=True)
+            self._scratch = None
+
+    def __enter__(self) -> "BatchNavigator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- campaign -----------------------------------------------------
+
+    def run(self, traces) -> CampaignSummary:
+        """Diagnose every trace; never let one failure sink the batch."""
+        jobs = [
+            (index, *self._coerce(trace)) for index, trace in enumerate(traces)
+        ]
+        if not jobs:
+            raise BatchError("batch campaign received no traces")
+        started = time.perf_counter()
+        with ThreadPoolExecutor(
+            max_workers=self.config.max_workers,
+            thread_name_prefix="ion-batch",
+        ) as pool:
+            outcomes = list(pool.map(self._run_one, jobs))
+        elapsed = time.perf_counter() - started
+        self.metrics.counter("batch.campaigns").inc()
+        if self.config.fail_fast:
+            for outcome in outcomes:
+                if not outcome.ok:
+                    raise BatchError(
+                        f"trace {outcome.name!r} failed: {outcome.error}"
+                    )
+        return CampaignSummary(
+            outcomes=outcomes,
+            elapsed_seconds=elapsed,
+            cache=self.cache.stats if self.cache is not None else None,
+            metrics=self.metrics.snapshot(),
+        )
+
+    def run_files(self, paths) -> CampaignSummary:
+        """Convenience wrapper over :meth:`run` for on-disk logs."""
+        return self.run(list(paths))
+
+    # -- workers ------------------------------------------------------
+
+    def _analyzer(self) -> Analyzer:
+        # One Analyzer per pool thread, built on first use and reused
+        # for every trace the worker picks up.
+        analyzer = getattr(self._local, "analyzer", None)
+        if analyzer is None:
+            analyzer = Analyzer(
+                client=self.client,
+                config=self.config.analyzer,
+                metrics=self.metrics,
+            )
+            self._local.analyzer = analyzer
+        return analyzer
+
+    def _run_one(self, job: tuple[int, str, "DarshanLog | Path"]) -> TraceOutcome:
+        index, name, log = job
+        outcome = TraceOutcome(index=index, name=name)
+        started = time.perf_counter()
+        try:
+            if isinstance(log, Path):
+                # File I/O is deferred to the worker so one unreadable
+                # log is an outcome, not a campaign abort.
+                log = read_log(log)
+            if self.cache is not None:
+                extraction, hit = self.cache.get_or_extract(log, self.extractor)
+            else:
+                extraction = self.extractor.extract(
+                    log, self._extraction_dir(index, name)
+                )
+                hit = False
+            outcome.extraction = extraction
+            outcome.cache_hit = hit
+            outcome.report = self._analyzer().analyze(extraction, name)
+            self.metrics.counter("batch.traces.ok").inc()
+        except Exception as exc:  # noqa: BLE001 — isolate per-trace faults
+            outcome.error = f"{type(exc).__name__}: {exc}"
+            self.metrics.counter("batch.traces.failed").inc()
+        outcome.duration_seconds = time.perf_counter() - started
+        return outcome
+
+    # -- input coercion -----------------------------------------------
+
+    def _coerce(self, trace) -> tuple[str, "DarshanLog | Path"]:
+        if isinstance(trace, DarshanLog):
+            return f"trace-{id(trace):x}", trace
+        if isinstance(trace, (str, Path)):
+            path = Path(trace)
+            return path.stem, path
+        if isinstance(trace, tuple) and len(trace) == 2:
+            name, log = trace
+            if not isinstance(log, DarshanLog):
+                raise BatchError(
+                    f"trace pair {name!r} does not carry a DarshanLog"
+                )
+            return str(name), log
+        name = getattr(trace, "name", None)
+        log = getattr(trace, "log", None)
+        if name is not None and isinstance(log, DarshanLog):
+            return str(name), log
+        raise BatchError(
+            f"cannot interpret {type(trace).__name__} as a trace; pass a "
+            "path, a DarshanLog, a (name, log) pair, or a TraceBundle"
+        )

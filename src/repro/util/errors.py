@@ -49,5 +49,13 @@ class ExtractionError(ReproError):
     """The ION extractor could not derive CSV files from a trace."""
 
 
+class CacheError(ReproError):
+    """The extraction cache is misconfigured or an entry is corrupt."""
+
+
+class BatchError(ReproError):
+    """A batch campaign was configured or driven incorrectly."""
+
+
 class AnalysisError(ReproError):
     """The ION analyzer failed to produce a diagnosis."""

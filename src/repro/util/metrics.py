@@ -1,0 +1,186 @@
+"""Pipeline observability: counters, gauges and timers.
+
+Every stage of the ION pipeline (extraction, analysis, caching,
+batch scheduling) reports into a :class:`MetricsRegistry` so that
+campaigns can be audited after the fact: how many traces hit the
+extraction cache, how long each analyzer stage took, how many prompts
+were dispatched.  The registry is thread-safe — the batch scheduler
+and the analyzer's prompt pool both write to it concurrently.
+
+Metrics are named with dotted paths (``cache.hits``,
+``extractor.extract.seconds``); :meth:`MetricsRegistry.snapshot`
+flattens everything into one plain dict for JSON output or test
+assertions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge instead")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time value that can move in both directions."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += float(delta)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Timer:
+    """Aggregated durations: count, total, min, max."""
+
+    __slots__ = ("_lock", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one measured duration."""
+        if seconds < 0:
+            raise ValueError("durations cannot be negative")
+        with self._lock:
+            self.count += 1
+            self.total += seconds
+            self.min = min(self.min, seconds)
+            self.max = max(self.max, seconds)
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Context manager measuring the wrapped block."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - start)
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use, safe for concurrent writers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, Timer] = {}
+
+    # -- accessors ----------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """Get (or lazily create) the counter called ``name``."""
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                self._require_free(name)
+                metric = self._counters[name] = Counter()
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """Get (or lazily create) the gauge called ``name``."""
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                self._require_free(name)
+                metric = self._gauges[name] = Gauge()
+            return metric
+
+    def timer(self, name: str) -> Timer:
+        """Get (or lazily create) the timer called ``name``."""
+        with self._lock:
+            metric = self._timers.get(name)
+            if metric is None:
+                self._require_free(name)
+                metric = self._timers[name] = Timer()
+            return metric
+
+    def _require_free(self, name: str) -> None:
+        # Called with the lock held, just before inserting ``name``.
+        if name in self._counters or name in self._gauges or name in self._timers:
+            raise ValueError(
+                f"metric {name!r} already registered with a different type"
+            )
+
+    # -- reading ------------------------------------------------------
+
+    def counter_value(self, name: str) -> int:
+        """The current value of a counter (0 if never touched)."""
+        with self._lock:
+            metric = self._counters.get(name)
+        return metric.value if metric is not None else 0
+
+    def snapshot(self) -> dict[str, float]:
+        """Flatten every metric into one ``name -> number`` dict.
+
+        Timers expand into ``<name>.count`` / ``.total`` / ``.mean`` /
+        ``.max`` entries so the snapshot stays JSON-friendly.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            timers = dict(self._timers)
+        out: dict[str, float] = {}
+        for name, counter in counters.items():
+            out[name] = counter.value
+        for name, gauge in gauges.items():
+            out[name] = gauge.value
+        for name, timer in timers.items():
+            out[f"{name}.count"] = timer.count
+            out[f"{name}.total"] = round(timer.total, 9)
+            out[f"{name}.mean"] = round(timer.mean, 9)
+            out[f"{name}.max"] = round(timer.max, 9)
+        return out
+
+    def reset(self) -> None:
+        """Drop every metric (mainly for tests)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()

@@ -1,12 +1,15 @@
-"""Tests for the ion and drishti-repro command-line interfaces."""
+"""Tests for the ion, ion-batch and drishti-repro command-line interfaces."""
 
 from __future__ import annotations
+
+import json
 
 import pytest
 
 from repro.darshan.binformat import write_log
 from repro.drishti import cli as drishti_cli
 from repro.ion import cli as ion_cli
+from repro.service import cli as batch_cli
 
 
 @pytest.fixture(scope="module")
@@ -52,6 +55,59 @@ class TestIonCli:
         workdir = tmp_path / "csvs"
         assert ion_cli.main([trace_path, "--workdir", str(workdir)]) == 0
         assert (workdir / "easy" / "POSIX.csv").exists()
+
+
+class TestIonBatchCli:
+    def test_multi_trace_campaign_with_cache(self, trace_path, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = [trace_path, trace_path, "--workers", "2",
+                "--cache-dir", cache_dir]
+        assert batch_cli.main(argv) == 0
+        first = capsys.readouterr().out
+        assert "Campaign summary" in first
+        assert "2/2 traces diagnosed" in first
+
+        # Second invocation over the same cache dir: all hits.
+        assert batch_cli.main(argv) == 0
+        second = capsys.readouterr().out
+        assert "cache hit rate 100%" in second
+        assert "2 hit(s)" in second
+
+    def test_workload_traces_and_json_summary(self, tmp_path, capsys):
+        out_json = tmp_path / "summary.json"
+        assert batch_cli.main(
+            ["--workload", "ior-easy-2k-shared", "--scale", "1.0",
+             "--workers", "1", "--json", str(out_json)]
+        ) == 0
+        assert "1/1 traces diagnosed" in capsys.readouterr().out
+        payload = json.loads(out_json.read_text())
+        assert payload["traces"][0]["ok"]
+        assert payload["traces"][0]["issue_count"] >= 1
+        assert payload["traces"][0]["report"]["trace_name"] == (
+            "ior-easy-2k-shared"
+        )
+        assert payload["metrics"]["extractor.extractions"] == 1
+
+    def test_reports_flag_prints_full_reports(self, trace_path, capsys):
+        assert batch_cli.main([trace_path, "--reports"]) == 0
+        assert "ION diagnosis report" in capsys.readouterr().out
+
+    def test_no_traces_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            batch_cli.main([])
+        assert "no traces" in capsys.readouterr().err
+
+    def test_cache_size_without_dir_is_a_usage_error(self, trace_path, capsys):
+        with pytest.raises(SystemExit):
+            batch_cli.main([trace_path, "--cache-size", "1M"])
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_failed_trace_yields_exit_code_1(self, trace_path, tmp_path, capsys):
+        missing = str(tmp_path / "missing.darshan")
+        assert batch_cli.main([trace_path, missing]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "1/2 traces diagnosed" in out
 
 
 class TestDrishtiCli:

@@ -1,0 +1,251 @@
+"""Tests for the content-addressed extraction cache.
+
+Covers the digest contract (stable across serialization round-trips,
+sensitive to any content change), hit/miss accounting, persistence of
+the on-disk store across cache instances, and LRU eviction under a
+byte budget.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.darshan.binformat import read_log, write_log
+from repro.ion.extractor import Extractor
+from repro.service.cache import ExtractionCache, extraction_key, log_digest
+from repro.util.errors import CacheError
+from repro.util.metrics import MetricsRegistry
+from repro.util.units import KIB
+from repro.workloads.ior import IorConfig, IorWorkload
+
+
+def tiny_log(transfer_size: int = KIB, segments: int = 8, nprocs: int = 2):
+    """A tiny but complete trace; distinct parameters -> distinct logs."""
+    workload = IorWorkload(
+        config=IorConfig(
+            mode="easy", api="POSIX", nprocs=nprocs,
+            transfer_size=transfer_size, segments=segments,
+            file_per_process=False,
+            file_name="/lustre/tiny/ior_file",
+        ),
+        name=f"tiny-{transfer_size}-{segments}",
+    )
+    return workload.run(scale=1.0).log
+
+
+class TestLogDigest:
+    def test_stable_across_serialization_round_trip(self, tmp_path):
+        log = tiny_log()
+        before = log_digest(log)
+        path = write_log(log, tmp_path / "t.darshan")
+        assert log_digest(read_log(path)) == before
+
+    def test_stable_across_identical_regeneration(self):
+        # The workloads are seeded, so regenerating the same
+        # configuration must produce the same content digest.
+        assert log_digest(tiny_log()) == log_digest(tiny_log())
+
+    def test_changes_when_any_counter_changes(self):
+        log = tiny_log()
+        mutated = copy.deepcopy(log)
+        record = mutated.records["POSIX"][0]
+        name = next(iter(record.counters))
+        record.counters[name] += 1
+        assert log_digest(mutated) != log_digest(log)
+
+    def test_changes_when_an_fcounter_changes(self):
+        log = tiny_log()
+        mutated = copy.deepcopy(log)
+        record = mutated.records["POSIX"][0]
+        name = next(iter(record.fcounters))
+        record.fcounters[name] += 1e-6
+        assert log_digest(mutated) != log_digest(log)
+
+    def test_changes_when_a_file_name_changes(self):
+        log = tiny_log()
+        mutated = copy.deepcopy(log)
+        record_id = next(iter(mutated.name_records))
+        mutated.name_records[record_id].path = "/lustre/tiny/renamed"
+        assert log_digest(mutated) != log_digest(log)
+
+    def test_changes_when_job_header_changes(self):
+        log = tiny_log()
+        mutated = copy.deepcopy(log)
+        mutated.job.nprocs += 1
+        assert log_digest(mutated) != log_digest(log)
+
+    def test_distinct_workload_parameters_distinct_digests(self):
+        assert log_digest(tiny_log(segments=8)) != log_digest(
+            tiny_log(segments=9)
+        )
+
+
+class TestExtractionKey:
+    def test_key_folds_in_extractor_parameters(self):
+        digest = log_digest(tiny_log())
+        assert extraction_key(digest, Extractor(rpc_size=KIB)) != extraction_key(
+            digest, Extractor(rpc_size=2 * KIB)
+        )
+
+    def test_key_deterministic(self):
+        digest = log_digest(tiny_log())
+        extractor = Extractor()
+        assert extraction_key(digest, extractor) == extraction_key(
+            digest, extractor
+        )
+
+
+class TestExtractionCache:
+    def test_hit_skips_re_extraction(self, tmp_path):
+        metrics = MetricsRegistry()
+        extractor = Extractor(metrics=metrics)
+        cache = ExtractionCache(tmp_path / "cache", metrics=metrics)
+        log = tiny_log()
+
+        first, hit1 = cache.get_or_extract(log, extractor)
+        second, hit2 = cache.get_or_extract(log, extractor)
+
+        assert (hit1, hit2) == (False, True)
+        # The extractor ran exactly once; the hit came off disk.
+        assert metrics.counter_value("extractor.extractions") == 1
+        assert metrics.counter_value("cache.hits") == 1
+        assert metrics.counter_value("cache.misses") == 1
+        assert second.directory == first.directory
+        assert second.row_counts == first.row_counts
+        assert second.columns == first.columns
+        assert second.system == first.system
+        for module, path in second.csv_paths.items():
+            assert path.exists(), module
+
+    def test_round_trip_preserves_extraction_result(self, tmp_path):
+        extractor = Extractor()
+        cache = ExtractionCache(tmp_path / "cache")
+        log = tiny_log()
+        plain = extractor.extract(log, tmp_path / "plain")
+        cached, _ = cache.get_or_extract(log, extractor)
+        cached_again, _ = cache.get_or_extract(log, extractor)
+        for result in (cached, cached_again):
+            assert result.row_counts == plain.row_counts
+            assert result.columns == plain.columns
+            assert result.system == plain.system
+            for module, path in plain.csv_paths.items():
+                assert result.path_for(module).read_bytes() == path.read_bytes()
+
+    def test_distinct_logs_distinct_entries(self, tmp_path):
+        extractor = Extractor()
+        cache = ExtractionCache(tmp_path / "cache")
+        a, _ = cache.get_or_extract(tiny_log(segments=8), extractor)
+        b, _ = cache.get_or_extract(tiny_log(segments=16), extractor)
+        assert a.directory != b.directory
+        assert cache.stats.entries == 2
+
+    def test_persists_across_cache_instances(self, tmp_path):
+        extractor = Extractor()
+        log = tiny_log()
+        first = ExtractionCache(tmp_path / "cache")
+        first.get_or_extract(log, extractor)
+
+        reopened = ExtractionCache(tmp_path / "cache")
+        assert reopened.contains(log, extractor)
+        _, hit = reopened.get_or_extract(log, extractor)
+        assert hit
+        assert reopened.stats.hits == 1
+        assert reopened.stats.misses == 0
+
+    @staticmethod
+    def _entry_sizes(tmp_path, extractor, logs):
+        """Byte size of each log's cache entry, measured via a probe."""
+        probe = ExtractionCache(tmp_path / "probe")
+        sizes = []
+        previous = 0
+        for log in logs:
+            probe.get_or_extract(log, extractor)
+            total = probe.stats.total_bytes
+            sizes.append(total - previous)
+            previous = total
+        return sizes
+
+    def test_eviction_under_tiny_budget(self, tmp_path):
+        extractor = Extractor()
+        logs = [tiny_log(segments=n) for n in (8, 16, 24)]
+        sizes = self._entry_sizes(tmp_path, extractor, logs)
+        assert all(size > 0 for size in sizes)
+
+        # Budget holds exactly the two newest entries: inserting the
+        # third must evict the least recently used (oldest) one.
+        cache = ExtractionCache(
+            tmp_path / "cache", max_bytes=sizes[1] + sizes[2]
+        )
+        for log in logs:
+            cache.get_or_extract(log, extractor)
+
+        stats = cache.stats
+        assert stats.evictions == 1
+        assert stats.entries == 2
+        assert stats.total_bytes <= sizes[1] + sizes[2]
+        assert not cache.contains(logs[0], extractor)
+        assert cache.contains(logs[1], extractor)
+        assert cache.contains(logs[2], extractor)
+
+    def test_eviction_is_lru_not_fifo(self, tmp_path):
+        extractor = Extractor()
+        first = tiny_log(segments=8)
+        second = tiny_log(segments=16)
+        third = tiny_log(segments=24)
+        sizes = self._entry_sizes(tmp_path, extractor, [first, second, third])
+
+        cache = ExtractionCache(
+            tmp_path / "cache", max_bytes=sizes[0] + sizes[2]
+        )
+        cache.get_or_extract(first, extractor)
+        cache.get_or_extract(second, extractor)
+        # Touch the older entry, making `second` the LRU victim.
+        cache.get_or_extract(first, extractor)
+        cache.get_or_extract(third, extractor)
+        assert cache.contains(first, extractor)
+        assert not cache.contains(second, extractor)
+        assert cache.contains(third, extractor)
+
+    def test_never_evicts_the_entry_just_inserted(self, tmp_path):
+        extractor = Extractor()
+        # Budget smaller than a single entry: the sole entry stays.
+        cache = ExtractionCache(tmp_path / "cache", max_bytes=1)
+        log = tiny_log()
+        cache.get_or_extract(log, extractor)
+        assert cache.contains(log, extractor)
+        assert cache.stats.entries == 1
+
+    def test_clear_empties_the_store(self, tmp_path):
+        extractor = Extractor()
+        cache = ExtractionCache(tmp_path / "cache")
+        log = tiny_log()
+        cache.get_or_extract(log, extractor)
+        cache.clear()
+        assert cache.stats.entries == 0
+        assert not cache.contains(log, extractor)
+        _, hit = cache.get_or_extract(log, extractor)
+        assert not hit
+
+    def test_corrupt_manifest_raises_cache_error(self, tmp_path):
+        extractor = Extractor()
+        cache = ExtractionCache(tmp_path / "cache")
+        log = tiny_log()
+        result, _ = cache.get_or_extract(log, extractor)
+        (result.directory / "manifest.json").write_text("not json")
+        with pytest.raises(CacheError):
+            cache.get_or_extract(log, extractor)
+
+    def test_invalid_budget_rejected(self, tmp_path):
+        with pytest.raises(CacheError):
+            ExtractionCache(tmp_path / "cache", max_bytes=0)
+
+    def test_stats_hit_rate(self, tmp_path):
+        extractor = Extractor()
+        cache = ExtractionCache(tmp_path / "cache")
+        log = tiny_log()
+        cache.get_or_extract(log, extractor)
+        cache.get_or_extract(log, extractor)
+        cache.get_or_extract(log, extractor)
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)

@@ -1,0 +1,59 @@
+"""Golden regression test for the full diagnosis report text.
+
+The rendered :class:`DiagnosisReport` for one IO500-style trace is
+snapshotted under ``tests/golden/``.  Any refactor of the prompts, the
+simulated expert, the analyzer parsing or the report renderer that
+changes a single character of a diagnosis shows up here as a diff —
+silent drift is the failure mode this guards against.
+
+If a change is *intentional*, regenerate the snapshot::
+
+    ION_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_report.py
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+from pathlib import Path
+
+from repro.ion.pipeline import IoNavigator
+from repro.ion.report import render_report
+
+GOLDEN = Path(__file__).parent / "golden" / "ior-easy-2k-shared.report.txt"
+
+
+def test_diagnosis_report_matches_golden_snapshot(easy_2k_bundle):
+    with IoNavigator() as navigator:
+        result = navigator.diagnose(easy_2k_bundle.log, easy_2k_bundle.name)
+    rendered = render_report(result.report)
+
+    if os.environ.get("ION_REGEN_GOLDEN"):
+        GOLDEN.write_text(rendered, encoding="utf-8")
+
+    expected = GOLDEN.read_text(encoding="utf-8")
+    if rendered != expected:
+        diff = "\n".join(
+            difflib.unified_diff(
+                expected.splitlines(),
+                rendered.splitlines(),
+                fromfile="golden",
+                tofile="current",
+                lineterm="",
+            )
+        )
+        raise AssertionError(
+            "diagnosis report drifted from the golden snapshot; if the "
+            "change is intentional rerun with ION_REGEN_GOLDEN=1.\n" + diff
+        )
+
+
+def test_golden_snapshot_covers_every_issue(easy_2k_bundle):
+    # The snapshot must stay a *full* report: summary plus one section
+    # entry per analyzed issue, so drift anywhere is caught.
+    from repro.ion.issues import IssueType
+
+    text = GOLDEN.read_text(encoding="utf-8")
+    for issue in IssueType:
+        assert issue.title in text, f"golden report lost {issue.title!r}"
+    assert "Global summary" in text

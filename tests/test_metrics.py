@@ -1,0 +1,109 @@
+"""Tests for the pipeline metrics registry."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.util.metrics import MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a.b")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_counter_value_of_untouched_name_is_zero(self):
+        assert MetricsRegistry().counter_value("never.seen") == 0
+
+    def test_same_name_returns_same_counter(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.add(-3.5)
+        assert gauge.value == 6.5
+
+
+class TestTimer:
+    def test_observe_aggregates(self):
+        timer = MetricsRegistry().timer("t")
+        timer.observe(1.0)
+        timer.observe(3.0)
+        assert timer.count == 2
+        assert timer.total == 4.0
+        assert timer.min == 1.0
+        assert timer.max == 3.0
+        assert timer.mean == 2.0
+
+    def test_context_manager_records_one_sample(self):
+        timer = MetricsRegistry().timer("t")
+        with timer.time():
+            pass
+        assert timer.count == 1
+        assert timer.total >= 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().timer("t").observe(-0.1)
+
+
+class TestRegistry:
+    def test_name_collision_across_types(self):
+        registry = MetricsRegistry()
+        registry.counter("shared.name")
+        with pytest.raises(ValueError):
+            registry.gauge("shared.name")
+        with pytest.raises(ValueError):
+            registry.timer("shared.name")
+
+    def test_snapshot_flattens_all_metric_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.timer("t").observe(2.0)
+        snap = registry.snapshot()
+        assert snap["c"] == 3
+        assert snap["g"] == 1.5
+        assert snap["t.count"] == 1
+        assert snap["t.total"] == 2.0
+        assert snap["t.mean"] == 2.0
+        assert snap["t.max"] == 2.0
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot() == {}
+        assert registry.counter_value("c") == 0
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hot")
+        timer = registry.timer("hot.time")
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+                timer.observe(0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+        assert timer.count == 8000

@@ -7,6 +7,7 @@ import pytest
 from repro.ion.analyzer import AnalyzerConfig
 from repro.ion.issues import IssueType, Severity
 from repro.ion.pipeline import IoNavigator
+from repro.ion.report import render_report
 from repro.util.units import MIB
 
 
@@ -73,6 +74,7 @@ class TestPublicApi:
             "repro.ion",
             "repro.drishti",
             "repro.evaluation",
+            "repro.service",
         ],
     )
     def test_all_exports_resolve(self, module):
@@ -86,3 +88,81 @@ class TestPublicApi:
         from repro.util import MIB as exported
 
         assert exported == MIB
+
+
+class TestScratchLifecycle:
+    def test_close_leaves_nothing_behind(self, easy_2k_bundle, tmp_path, monkeypatch):
+        # Point tempfile at a private root so "nothing left behind"
+        # is checkable as "this directory is empty again".
+        monkeypatch.setattr("tempfile.tempdir", str(tmp_path))
+        navigator = IoNavigator()
+        result = navigator.diagnose(easy_2k_bundle.log, "t")
+        assert result.extraction.directory.exists()
+        assert any(tmp_path.iterdir())
+        navigator.close()
+        assert list(tmp_path.iterdir()) == []
+        # close() is idempotent and diagnosing after close re-creates
+        # scratch space rather than failing.
+        navigator.close()
+
+    def test_context_manager_cleans_up(self, easy_2k_bundle, tmp_path, monkeypatch):
+        monkeypatch.setattr("tempfile.tempdir", str(tmp_path))
+        with IoNavigator() as navigator:
+            result = navigator.diagnose(easy_2k_bundle.log, "t")
+            assert result.extraction.directory.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_same_trace_name_twice_gets_distinct_dirs(self, easy_2k_bundle):
+        with IoNavigator() as navigator:
+            first = navigator.diagnose(easy_2k_bundle.log, "dup")
+            second = navigator.diagnose(easy_2k_bundle.log, "dup")
+            assert (
+                first.extraction.directory != second.extraction.directory
+            )
+            assert first.extraction.row_counts == second.extraction.row_counts
+
+    def test_relative_workdir_still_detects_issues(
+        self, easy_2k_bundle, tmp_path, monkeypatch
+    ):
+        # Regression: a relative extraction directory used to put
+        # relative CSV paths into prompts, which the interpreter
+        # sandbox re-anchored under the workdir — every analysis run
+        # then failed and silently degraded to severity OK.
+        monkeypatch.chdir(tmp_path)
+        with IoNavigator(workdir="relative-scratch") as navigator:
+            result = navigator.diagnose(easy_2k_bundle.log, "t")
+        assert result.report.diagnoses[0].conclusion != (
+            "analysis failed; no diagnosis."
+        )
+        assert any(d.detected for d in result.report.diagnoses)
+
+    def test_user_workdir_is_not_deleted_on_close(self, easy_2k_bundle, tmp_path):
+        with IoNavigator(workdir=tmp_path) as navigator:
+            navigator.diagnose(easy_2k_bundle.log, "mine")
+        assert (tmp_path / "mine" / "POSIX.csv").exists()
+
+    def test_cache_backed_navigator_reports_hits(self, easy_2k_bundle, tmp_path):
+        from repro.service.cache import ExtractionCache
+        from repro.util.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        cache = ExtractionCache(tmp_path / "cache", metrics=metrics)
+        with IoNavigator(cache=cache, metrics=metrics) as navigator:
+            first = navigator.diagnose(easy_2k_bundle.log, "t")
+            second = navigator.diagnose(easy_2k_bundle.log, "t")
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert metrics.counter_value("extractor.extractions") == 1
+        assert render_report(first.report) == render_report(second.report)
+
+    def test_pipeline_metrics_observed(self, easy_2k_bundle):
+        from repro.util.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        with IoNavigator(metrics=metrics) as navigator:
+            navigator.diagnose(easy_2k_bundle.log, "t")
+        snap = metrics.snapshot()
+        assert snap["pipeline.diagnose.seconds.count"] == 1
+        assert snap["analyzer.reports"] == 1
+        assert snap["extractor.extractions"] == 1
+        assert snap["analyzer.prompts"] >= 1
