@@ -8,22 +8,37 @@ interpreter attached, and parses the completion into a
 evidence, severity and mitigation notes.  Prompts are dispatched in
 parallel, as in the paper.  Finally a summarization prompt combines
 all per-issue conclusions into the global summary.
+
+Every logical query runs inside a resilience envelope: retry with
+exponential backoff and jitter, a per-query deadline, and a circuit
+breaker shared across queries (and, in batch mode, across worker
+analyzers).  A query that exhausts its budget does not abort the
+report — it degrades to the deterministic Drishti heuristic fallback
+(:mod:`repro.ion.degraded`) and the report's
+:class:`~repro.ion.issues.ReportHealth` records what happened.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import re
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
 
+from repro.darshan.log import DarshanLog
 from repro.ion.contexts import IssueContext, context_for, default_issue_order
+from repro.ion.degraded import DrishtiFallback, compose_degraded_summary
 from repro.ion.extractor import ExtractionResult
 from repro.ion.issues import (
     Diagnosis,
     DiagnosisReport,
     IssueType,
     MitigationNote,
+    ReportHealth,
     Severity,
 )
 from repro.ion.prompts import (
@@ -37,7 +52,8 @@ from repro.llm.client import LLMClient
 from repro.llm.expert.model import SimulatedExpertLLM, parse_conclusions
 from repro.llm.interpreter import CodeInterpreter
 from repro.llm.messages import Message
-from repro.util.errors import AnalysisError
+from repro.llm.resilience import BackoffPolicy, CircuitBreaker
+from repro.util.errors import AnalysisError, CircuitOpenError, LLMError
 from repro.util.metrics import MetricsRegistry
 
 _SEVERITY_RE = re.compile(r"\[severity=(\w+)\]")
@@ -46,6 +62,73 @@ _STEP_RE = re.compile(r"^\s*\d+\.\s+(.*\S)", flags=re.MULTILINE)
 _ISSUE_MARKER = "### ISSUE:"
 
 _TITLE_TO_ISSUE = {issue.title: issue for issue in IssueType}
+
+#: Failures the resilience envelope absorbs; anything else is a
+#: programming error and propagates.
+_RETRYABLE = (LLMError, AnalysisError)
+
+
+@dataclass
+class ResilienceConfig:
+    """Retry, deadline, breaker and degradation tunables of the analyzer."""
+
+    #: Total tries per logical query (1 = no retries).
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_max: float = 1.0
+    #: Fraction of each capped delay that jitter may remove.
+    backoff_jitter: float = 0.1
+    #: Wall-clock budget for one logical query including retries and
+    #: their delays; None disables the deadline.
+    query_deadline: float | None = 30.0
+    #: Consecutive query failures that trip the circuit breaker.
+    breaker_failure_threshold: int = 5
+    #: Seconds the breaker stays open before letting a probe through.
+    breaker_recovery_seconds: float = 30.0
+    #: Successful half-open probes required to close the breaker.
+    breaker_half_open_successes: int = 1
+    #: True (default): a query that exhausts its budget yields a
+    #: DEGRADED diagnosis (Drishti fallback when the trace is known).
+    #: False: the failure propagates and aborts the report (strict
+    #: mode, the pre-resilience behaviour).
+    degrade: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise AnalysisError("max_attempts must be at least 1")
+        if self.query_deadline is not None and self.query_deadline <= 0:
+            raise AnalysisError("query_deadline must be positive when set")
+        # Delegate the remaining bounds checks to BackoffPolicy /
+        # CircuitBreaker so one validation story covers both layers.
+        try:
+            self.policy()
+            CircuitBreaker(
+                failure_threshold=self.breaker_failure_threshold,
+                recovery_time=self.breaker_recovery_seconds,
+                half_open_successes=self.breaker_half_open_successes,
+            )
+        except LLMError as exc:
+            raise AnalysisError(f"invalid resilience config: {exc}") from exc
+
+    def policy(self) -> BackoffPolicy:
+        """The backoff policy this configuration describes."""
+        return BackoffPolicy(
+            max_attempts=self.max_attempts,
+            base_delay=self.backoff_base,
+            multiplier=self.backoff_multiplier,
+            max_delay=max(self.backoff_max, self.backoff_base),
+            jitter=self.backoff_jitter,
+            deadline=self.query_deadline,
+        )
+
+    def breaker(self) -> CircuitBreaker:
+        """A fresh circuit breaker with these thresholds."""
+        return CircuitBreaker(
+            failure_threshold=self.breaker_failure_threshold,
+            recovery_time=self.breaker_recovery_seconds,
+            half_open_successes=self.breaker_half_open_successes,
+        )
 
 
 @dataclass
@@ -67,6 +150,7 @@ class AnalyzerConfig:
     #: the prompts sequentially.
     parallel_prompts: int = 4
     summarize: bool = True
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     def __post_init__(self) -> None:
         if self.strategy not in ("divide", "monolithic"):
@@ -85,6 +169,17 @@ class AnalyzerConfig:
             raise AnalysisError("at least one issue type must be analyzed")
 
 
+@dataclass
+class _QueryStats:
+    """Outcome accounting for one logical query (issue or summary)."""
+
+    label: str
+    attempts: int = 1
+    degraded: bool = False
+    fallback: bool = False
+    reason: str = ""
+
+
 class Analyzer:
     """Runs the full per-issue diagnosis over one extraction."""
 
@@ -93,27 +188,137 @@ class Analyzer:
         client: LLMClient | None = None,
         config: AnalyzerConfig | None = None,
         metrics: MetricsRegistry | None = None,
+        interpreter_factory: Callable[[Path], CodeInterpreter] | None = None,
+        breaker: CircuitBreaker | None = None,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.client = client or SimulatedExpertLLM()
         self.config = config or AnalyzerConfig()
         self.metrics = metrics or MetricsRegistry()
+        self.interpreter_factory = interpreter_factory or CodeInterpreter
+        #: Shared across every query of this analyzer; batch deployments
+        #: pass one breaker to all worker analyzers so sustained backend
+        #: failure trips the whole fleet, not one worker at a time.
+        self.breaker = breaker or self.config.resilience.breaker()
+        self._sleep = sleep
+        # Jitter source: seeded so retry schedules are reproducible.
+        self._rng = random.Random(0)
 
     # -- public API ------------------------------------------------------
 
     def analyze(
-        self, extraction: ExtractionResult, trace_name: str = "trace"
+        self,
+        extraction: ExtractionResult,
+        trace_name: str = "trace",
+        log: DarshanLog | None = None,
     ) -> DiagnosisReport:
-        """Produce the full diagnosis report for one extracted trace."""
+        """Produce the full diagnosis report for one extracted trace.
+
+        ``log`` (optional) enables the Drishti heuristic fallback for
+        queries that degrade; without it a degraded issue is reported
+        as unexamined.
+        """
         with self.metrics.timer("analyzer.analyze.seconds").time():
+            trips_before = self.breaker.trips
+            fallback = DrishtiFallback(log, trace_name)
             if self.config.strategy == "divide":
-                diagnoses = self._analyze_divide(extraction, trace_name)
+                diagnoses, stats = self._analyze_divide(
+                    extraction, trace_name, fallback
+                )
             else:
-                diagnoses = self._analyze_monolithic(extraction, trace_name)
+                diagnoses, stats = self._analyze_monolithic(
+                    extraction, trace_name, fallback
+                )
             report = DiagnosisReport(trace_name=trace_name, diagnoses=diagnoses)
             if self.config.summarize:
-                report.summary = self._summarize(trace_name, diagnoses)
+                report.summary, summary_stats = self._summarize(
+                    trace_name, diagnoses
+                )
+                stats.append(summary_stats)
+            report.health = self._health_from(stats, trips_before)
         self.metrics.counter("analyzer.reports").inc()
         return report
+
+    # -- resilience envelope ---------------------------------------------
+
+    def _with_resilience(self, label, attempt_fn):
+        """Run ``attempt_fn`` with retry/backoff/deadline/breaker.
+
+        Returns ``(value, attempts, "")`` on success or
+        ``(None, attempts, reason)`` once the budget is exhausted or
+        the breaker refuses the call.  Only LLM-path failures
+        (:data:`_RETRYABLE`) are absorbed.
+        """
+        policy = self.config.resilience.policy()
+        started = time.perf_counter()
+        attempts = 0
+        reason = ""
+        for attempt in range(1, policy.max_attempts + 1):
+            if not self.breaker.allow():
+                self.metrics.counter("analyzer.breaker.short_circuited").inc()
+                short = CircuitOpenError(
+                    f"circuit breaker open; {label} not attempted"
+                )
+                reason = f"{type(short).__name__}: {short}"
+                break
+            attempts += 1
+            self.metrics.counter("analyzer.queries.attempts").inc()
+            try:
+                value = attempt_fn()
+            except _RETRYABLE as exc:
+                trips_before = self.breaker.trips
+                self.breaker.record_failure()
+                if self.breaker.trips > trips_before:
+                    self.metrics.counter("analyzer.breaker.opened").inc()
+                reason = f"{type(exc).__name__}: {exc}"
+                elapsed = time.perf_counter() - started
+                deadline = policy.deadline
+                if deadline is not None and elapsed >= deadline:
+                    reason += " (query deadline exhausted)"
+                    break
+                if attempt < policy.max_attempts:
+                    delay = policy.delay(attempt, self._rng)
+                    if deadline is not None:
+                        delay = min(delay, max(deadline - elapsed, 0.0))
+                    if delay > 0:
+                        self._sleep(delay)
+                    self.metrics.counter("analyzer.queries.retries").inc()
+                continue
+            self.breaker.record_success()
+            return value, attempts, ""
+        return None, attempts, reason
+
+    def _degrade_or_raise(
+        self,
+        issue: IssueType,
+        fallback: DrishtiFallback,
+        reason: str,
+    ) -> Diagnosis:
+        if not self.config.resilience.degrade:
+            raise AnalysisError(
+                f"query for {issue.title!r} failed without degraded mode: "
+                f"{reason}"
+            )
+        self.metrics.counter("analyzer.queries.degraded").inc()
+        diagnosis = fallback.diagnosis_for(issue, reason)
+        if diagnosis.fallback_source == "drishti":
+            self.metrics.counter("analyzer.fallback.drishti").inc()
+        return diagnosis
+
+    def _health_from(
+        self, stats: list[_QueryStats], trips_before: int
+    ) -> ReportHealth:
+        health = ReportHealth(
+            queries=len(stats),
+            attempts=sum(s.attempts for s in stats),
+            retries=sum(max(s.attempts - 1, 0) for s in stats),
+            degraded=sum(1 for s in stats if s.degraded),
+            fallbacks=sum(1 for s in stats if s.fallback),
+            breaker_state=self.breaker.state.value,
+            breaker_trips=self.breaker.trips - trips_before,
+            notes=[f"{s.label}: {s.reason}" for s in stats if s.degraded],
+        )
+        return health
 
     # -- strategies ----------------------------------------------------------
 
@@ -129,63 +334,109 @@ class Analyzer:
         return [context_for(issue) for issue in self.config.issues]
 
     def _analyze_divide(
-        self, extraction: ExtractionResult, trace_name: str
-    ) -> list[Diagnosis]:
+        self,
+        extraction: ExtractionResult,
+        trace_name: str,
+        fallback: DrishtiFallback,
+    ) -> tuple[list[Diagnosis], list[_QueryStats]]:
         contexts = self._contexts(extraction)
 
-        def run_one(context: IssueContext) -> Diagnosis:
+        def run_one(context: IssueContext) -> tuple[Diagnosis, _QueryStats]:
             prompt = build_issue_prompt(
                 trace_name, context, extraction,
                 include_context=self.config.include_context,
                 include_dxt=self.config.include_dxt,
             )
-            run = self._run_prompt(prompt, extraction)
-            return self._diagnosis_from_run(context.issue, run)
+
+            def attempt() -> Diagnosis:
+                run = self._run_prompt(prompt, extraction)
+                return self._diagnosis_from_run(context.issue, run)
+
+            diagnosis, attempts, reason = self._with_resilience(
+                f"query:{context.issue.value}", attempt
+            )
+            stats = _QueryStats(
+                label=f"query:{context.issue.value}", attempts=attempts
+            )
+            if diagnosis is None:
+                diagnosis = self._degrade_or_raise(
+                    context.issue, fallback, reason
+                )
+                stats.degraded = True
+                stats.fallback = diagnosis.fallback_source == "drishti"
+                stats.reason = reason
+            return diagnosis, stats
 
         if self.config.parallel_prompts > 1:
             with ThreadPoolExecutor(
                 max_workers=self.config.parallel_prompts
             ) as pool:
-                return list(pool.map(run_one, contexts))
-        return [run_one(context) for context in contexts]
+                results = list(pool.map(run_one, contexts))
+        else:
+            results = [run_one(context) for context in contexts]
+        return [d for d, _ in results], [s for _, s in results]
 
     def _analyze_monolithic(
-        self, extraction: ExtractionResult, trace_name: str
-    ) -> list[Diagnosis]:
+        self,
+        extraction: ExtractionResult,
+        trace_name: str,
+        fallback: DrishtiFallback,
+    ) -> tuple[list[Diagnosis], list[_QueryStats]]:
         contexts = self._contexts(extraction)
         prompt = build_monolithic_prompt(
             trace_name, contexts, extraction,
             include_context=self.config.include_context,
             include_dxt=self.config.include_dxt,
         )
-        run = self._run_prompt(prompt, extraction)
-        conclusions = parse_conclusions(run.final_text)
-        evidence = self._evidence_by_issue(run)
-        diagnoses = []
-        for issue in self.config.issues:
-            body = conclusions.get(issue.title)
-            if body is None:
+
+        def attempt() -> list[Diagnosis]:
+            run = self._run_prompt(prompt, extraction)
+            conclusions = parse_conclusions(run.final_text)
+            evidence = self._evidence_by_issue(run)
+            diagnoses = []
+            for issue in self.config.issues:
+                body = conclusions.get(issue.title)
+                if body is None:
+                    diagnoses.append(
+                        Diagnosis(
+                            issue=issue,
+                            severity=Severity.OK,
+                            conclusion=(
+                                "(the model did not address this issue in its "
+                                "combined completion)"
+                            ),
+                        )
+                    )
+                    continue
                 diagnoses.append(
-                    Diagnosis(
-                        issue=issue,
-                        severity=Severity.OK,
-                        conclusion=(
-                            "(the model did not address this issue in its "
-                            "combined completion)"
-                        ),
+                    self._diagnosis_from_body(
+                        issue, body, run, evidence.get(issue)
                     )
                 )
-                continue
-            diagnoses.append(
-                self._diagnosis_from_body(issue, body, run, evidence.get(issue))
+            return diagnoses
+
+        diagnoses, attempts, reason = self._with_resilience(
+            "query:monolithic", attempt
+        )
+        stats = _QueryStats(label="query:monolithic", attempts=attempts)
+        if diagnoses is None:
+            # The one combined query failed: every issue degrades.
+            diagnoses = [
+                self._degrade_or_raise(issue, fallback, reason)
+                for issue in self.config.issues
+            ]
+            stats.degraded = True
+            stats.fallback = any(
+                d.fallback_source == "drishti" for d in diagnoses
             )
-        return diagnoses
+            stats.reason = reason
+        return diagnoses, [stats]
 
     # -- plumbing ---------------------------------------------------------------
 
     def _run_prompt(self, prompt: str, extraction: ExtractionResult) -> Run:
         self.metrics.counter("analyzer.prompts").inc()
-        interpreter = CodeInterpreter(extraction.directory)
+        interpreter = self.interpreter_factory(extraction.directory)
         assistant = Assistant(
             client=self.client,
             instructions=ASSISTANT_INSTRUCTIONS,
@@ -285,7 +536,7 @@ class Analyzer:
 
     def _summarize(
         self, trace_name: str, diagnoses: list[Diagnosis]
-    ) -> str:
+    ) -> tuple[str, _QueryStats]:
         conclusions = [
             (
                 diagnosis.issue,
@@ -294,5 +545,22 @@ class Analyzer:
             for diagnosis in diagnoses
         ]
         prompt = build_summary_prompt(trace_name, conclusions)
-        completion = self.client.complete([Message.user(prompt)])
-        return completion.content
+
+        def attempt() -> str:
+            return self.client.complete([Message.user(prompt)]).content
+
+        summary, attempts, reason = self._with_resilience(
+            "query:summary", attempt
+        )
+        stats = _QueryStats(label="query:summary", attempts=attempts)
+        if summary is None:
+            if not self.config.resilience.degrade:
+                raise AnalysisError(
+                    f"summarization query failed without degraded mode: "
+                    f"{reason}"
+                )
+            self.metrics.counter("analyzer.queries.degraded").inc()
+            summary = compose_degraded_summary(trace_name, diagnoses, reason)
+            stats.degraded = True
+            stats.reason = reason
+        return summary, stats

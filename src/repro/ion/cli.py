@@ -66,16 +66,83 @@ def build_parser() -> argparse.ArgumentParser:
         help="cross-check the diagnosis through counters-only and "
              "monolithic variants and report disagreements",
     )
+    parser.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        help="retry budget per LLM query (default: 3)",
+    )
+    parser.add_argument(
+        "--query-deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per LLM query including retries "
+             "(default: 30)",
+    )
+    parser.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        help="chaos-testing aid: inject deterministic LLM/interpreter "
+             "faults, e.g. 'transient', 'timeout:0.3', "
+             "'malformed:0.5:seed=7', 'interpreter_crash' "
+             "(failed queries degrade to Drishti heuristics)",
+    )
     return parser
+
+
+def resilience_from_args(args: argparse.Namespace):
+    """Build the analyzer ResilienceConfig the CLI flags describe."""
+    from repro.ion.analyzer import ResilienceConfig
+
+    overrides = {}
+    if args.max_attempts is not None:
+        overrides["max_attempts"] = args.max_attempts
+    if args.query_deadline is not None:
+        overrides["query_deadline"] = args.query_deadline
+    return ResilienceConfig(**overrides)
+
+
+def fault_injection_from_args(args: argparse.Namespace):
+    """``(wrap_client, interpreter_factory)`` for ``--inject-faults``."""
+    if args.inject_faults is None:
+        return (lambda client: client), None
+    from repro.llm.faults import (
+        FaultKind,
+        FaultPlan,
+        FaultyCodeInterpreter,
+        FaultyLLMClient,
+    )
+    from repro.llm.interpreter import CodeInterpreter
+
+    plan = FaultPlan.parse(args.inject_faults)
+    if args.inject_faults.split(":")[0].strip().lower() in (
+        "interpreter",
+        FaultKind.INTERPRETER_CRASH.value,
+    ):
+        return (lambda client: client), (
+            lambda workdir: FaultyCodeInterpreter(
+                CodeInterpreter(workdir), plan
+            )
+        )
+    return (lambda client: FaultyLLMClient(client, plan)), None
 
 
 @suppress_broken_pipe
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    config = AnalyzerConfig(
-        strategy=args.strategy, include_context=not args.no_context
-    )
-    with IoNavigator(config=config, workdir=args.workdir) as navigator:
+    try:
+        config = AnalyzerConfig(
+            strategy=args.strategy,
+            include_context=not args.no_context,
+            resilience=resilience_from_args(args),
+        )
+        wrap_client, interpreter_factory = fault_injection_from_args(args)
+    except ReproError as exc:
+        print(f"ion: error: {exc}", file=sys.stderr)
+        return 1
+    from repro.llm.expert.model import SimulatedExpertLLM
+
+    with IoNavigator(
+        client=wrap_client(SimulatedExpertLLM()),
+        config=config,
+        workdir=args.workdir,
+        interpreter_factory=interpreter_factory,
+    ) as navigator:
         try:
             result = navigator.diagnose_file(args.trace)
         except (ReproError, OSError) as exc:

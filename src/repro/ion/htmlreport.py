@@ -38,6 +38,10 @@ details.issue { border: 1px solid #ddd; border-radius: .5rem;
 details.issue summary { cursor: pointer; font-weight: 600; padding: .4rem 0; }
 .conclusion { margin: .4rem 0 .6rem; }
 .mitigation { color: #0b57d0; font-style: italic; }
+.degraded { color: #8a6d00; font-style: italic; }
+table.health { border-collapse: collapse; font-size: .85rem; }
+table.health td, table.health th { border: 1px solid #ddd;
+  padding: .15rem .5rem; text-align: left; }
 ol.steps { margin: .2rem 0 .6rem 1.2rem; }
 pre { background: #f6f8fa; border-radius: .4rem; padding: .7rem;
       overflow-x: auto; font-size: .82rem; }
@@ -93,6 +97,15 @@ def _issue_section(diagnosis: Diagnosis) -> str:
         notes = "; ".join(note.title for note in diagnosis.mitigations)
         parts.append(f'<p class="mitigation">Mitigating context: '
                      f"{html.escape(notes)}</p>")
+    if diagnosis.degraded:
+        source = {
+            "drishti": "Drishti heuristic fallback",
+            "none": "no fallback available",
+        }.get(diagnosis.fallback_source, diagnosis.fallback_source)
+        parts.append(
+            f'<p class="degraded">DEGRADED ({html.escape(source)}): '
+            f"{html.escape(diagnosis.degraded_reason)}</p>"
+        )
     if diagnosis.steps:
         steps = "".join(
             f"<li>{html.escape(step)}</li>" for step in diagnosis.steps
@@ -128,6 +141,37 @@ def render_html(
     if report.summary:
         sections.append("<h2>Global summary</h2>")
         sections.append(f'<div class="summary">{html.escape(report.summary)}</div>')
+    if report.health is not None:
+        health = report.health
+        trips = (
+            f" (tripped {health.breaker_trips}x this run)"
+            if health.breaker_trips
+            else ""
+        )
+        rows = [
+            ("queries", str(health.queries)),
+            ("attempts", str(health.attempts)),
+            ("retries", str(health.retries)),
+            ("degraded", str(health.degraded)),
+            ("drishti fallbacks", str(health.fallbacks)),
+            ("circuit breaker", f"{health.breaker_state}{trips}"),
+        ]
+        cells = "".join(
+            f"<tr><td>{html.escape(key)}</td>"
+            f"<td>{html.escape(value)}</td></tr>"
+            for key, value in rows
+        )
+        sections.append("<h2>Pipeline health</h2>")
+        sections.append(
+            '<table class="health"><tr><th>metric</th><th>value</th></tr>'
+            + cells
+            + "</table>"
+        )
+        if health.notes:
+            notes = "".join(
+                f"<li>{html.escape(note)}</li>" for note in health.notes
+            )
+            sections.append(f"<ul>{notes}</ul>")
     if session is not None and session.history:
         sections.append('<h2>Interactive session</h2><div class="qa">')
         for exchange in session.history:

@@ -17,6 +17,7 @@ from repro.ion.issues import DiagnosisReport
 from repro.ion.prompts import build_question_prompt
 from repro.llm.client import LLMClient
 from repro.llm.messages import Message
+from repro.util.errors import LLMError
 
 
 def build_digest(report: DiagnosisReport) -> str:
@@ -42,11 +43,18 @@ class Exchange:
 
 @dataclass
 class IonSession:
-    """A conversational window onto one diagnosis report."""
+    """A conversational window onto one diagnosis report.
+
+    The session degrades rather than raises when the LLM path fails: a
+    question asked while the backend is down gets a deterministic
+    answer pointing at the already-computed diagnosis, and
+    ``degraded_answers`` counts how often that happened.
+    """
 
     report: DiagnosisReport
     client: LLMClient
     history: list[Exchange] = field(default_factory=list)
+    degraded_answers: int = 0
 
     def ask(self, question: str) -> str:
         """Ask a follow-up question; the answer cites measured evidence."""
@@ -56,7 +64,23 @@ class IonSession:
         prompt = build_question_prompt(
             self.report.trace_name, build_digest(self.report), question
         )
-        completion = self.client.complete([Message.user(prompt)])
-        exchange = Exchange(question=question, answer=completion.content)
+        try:
+            answer = self.client.complete([Message.user(prompt)]).content
+        except LLMError as exc:
+            self.degraded_answers += 1
+            flagged = sorted(
+                issue.title for issue in self.report.detected_issues
+            )
+            summary = (
+                "; flagged issues: " + ", ".join(flagged)
+                if flagged
+                else "; no issues were flagged"
+            )
+            answer = (
+                f"(degraded answer — assistant unavailable: "
+                f"{type(exc).__name__}: {exc}) Refer to the diagnosis "
+                f"report for {self.report.trace_name}{summary}."
+            )
+        exchange = Exchange(question=question, answer=answer)
         self.history.append(exchange)
         return exchange.answer

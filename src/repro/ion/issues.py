@@ -99,6 +99,15 @@ class Diagnosis:
     code_output: str = ""
     evidence: dict[str, object] = field(default_factory=dict)
     mitigations: list[MitigationNote] = field(default_factory=list)
+    #: True when the LLM query for this issue failed and the result is
+    #: a degraded-mode substitute (see ``fallback_source``).
+    degraded: bool = False
+    #: Why the LLM path failed (e.g. ``"LLMTimeoutError: ..."``).
+    degraded_reason: str = ""
+    #: Which degraded-mode oracle produced the result: ``"drishti"``
+    #: for the heuristic trigger fallback, ``"none"`` when no fallback
+    #: was possible, ``""`` for healthy LLM results.
+    fallback_source: str = ""
 
     @property
     def detected(self) -> bool:
@@ -112,12 +121,41 @@ class Diagnosis:
 
 
 @dataclass
+class ReportHealth:
+    """How the LLM pipeline behaved while producing one report.
+
+    ``queries`` counts logical LLM queries (one per issue, plus the
+    summarization query when enabled); ``attempts`` counts every
+    dispatch including retries, so ``retries == attempts - queries``
+    when nothing short-circuits.  ``degraded`` queries exhausted their
+    retry budget (or hit an open breaker) and fell back —
+    ``fallbacks`` of them to the Drishti heuristic oracle.
+    """
+
+    queries: int = 0
+    attempts: int = 0
+    retries: int = 0
+    degraded: int = 0
+    fallbacks: int = 0
+    breaker_state: str = "closed"
+    breaker_trips: int = 0
+    #: One ``"<stage>: <reason>"`` entry per degraded query.
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        """Whether every query was answered by the LLM path itself."""
+        return self.degraded == 0 and self.breaker_trips == 0
+
+
+@dataclass
 class DiagnosisReport:
     """Everything the ION analyzer produced for one trace."""
 
     trace_name: str
     diagnoses: list[Diagnosis]
     summary: str = ""
+    health: ReportHealth | None = None
 
     def diagnosis_for(self, issue: IssueType) -> Diagnosis:
         """Look up the diagnosis of one issue type."""
@@ -135,6 +173,11 @@ class DiagnosisReport:
     def observed_issues(self) -> set[IssueType]:
         """Issues whose pattern was observed, harmful or mitigated."""
         return {d.issue for d in self.diagnoses if d.observed}
+
+    @property
+    def degraded_issues(self) -> set[IssueType]:
+        """Issues whose diagnosis came from a degraded-mode fallback."""
+        return {d.issue for d in self.diagnoses if d.degraded}
 
     @property
     def mitigation_notes(self) -> set[MitigationNote]:

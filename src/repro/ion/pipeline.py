@@ -57,13 +57,17 @@ class IoNavigator:
         rpc_size: int = 4 * MIB,
         cache: "ExtractionCache | None" = None,
         metrics: MetricsRegistry | None = None,
+        interpreter_factory=None,
     ) -> None:
         self.client = client or SimulatedExpertLLM()
         self.config = config or AnalyzerConfig()
         self.metrics = metrics or MetricsRegistry()
         self.extractor = Extractor(rpc_size=rpc_size, metrics=self.metrics)
         self.analyzer = Analyzer(
-            client=self.client, config=self.config, metrics=self.metrics
+            client=self.client,
+            config=self.config,
+            metrics=self.metrics,
+            interpreter_factory=interpreter_factory,
         )
         self.cache = cache
         self._workdir = Path(workdir) if workdir else None
@@ -112,15 +116,16 @@ class IoNavigator:
         """Diagnose an in-memory Darshan log."""
         with self.metrics.timer("pipeline.diagnose.seconds").time():
             extraction, hit = self._extract(log, trace_name)
-            return self._analyze(extraction, trace_name, cache_hit=hit)
+            return self._analyze(extraction, trace_name, log=log, cache_hit=hit)
 
     def diagnose_file(self, log_path: str | Path) -> IonResult:
         """Diagnose a binary Darshan log file."""
         log_path = Path(log_path)
         trace_name = log_path.stem
+        log = read_log(log_path)
         with self.metrics.timer("pipeline.diagnose.seconds").time():
-            extraction, hit = self._extract(read_log(log_path), trace_name)
-            return self._analyze(extraction, trace_name, cache_hit=hit)
+            extraction, hit = self._extract(log, trace_name)
+            return self._analyze(extraction, trace_name, log=log, cache_hit=hit)
 
     def _extract(
         self, log: DarshanLog, trace_name: str
@@ -130,9 +135,13 @@ class IoNavigator:
         return self.extractor.extract(log, self._extraction_dir(trace_name)), False
 
     def _analyze(
-        self, extraction: ExtractionResult, trace_name: str, cache_hit: bool = False
+        self,
+        extraction: ExtractionResult,
+        trace_name: str,
+        log: DarshanLog | None = None,
+        cache_hit: bool = False,
     ) -> IonResult:
-        report = self.analyzer.analyze(extraction, trace_name)
+        report = self.analyzer.analyze(extraction, trace_name, log=log)
         session = IonSession(report=report, client=self.client)
         return IonResult(
             report=report,

@@ -38,6 +38,12 @@ def render_diagnosis(diagnosis: Diagnosis, show_code: bool = False) -> str:
     if diagnosis.mitigations:
         notes = "; ".join(note.title for note in diagnosis.mitigations)
         out.write(f"  Mitigating context: {notes}\n")
+    if diagnosis.degraded:
+        source = {
+            "drishti": "Drishti heuristic fallback",
+            "none": "no fallback available",
+        }.get(diagnosis.fallback_source, diagnosis.fallback_source)
+        out.write(f"  DEGRADED ({source}): {diagnosis.degraded_reason}\n")
     return out.getvalue()
 
 
@@ -64,4 +70,29 @@ def render_report(report: DiagnosisReport, show_code: bool = False) -> str:
     if report.summary:
         out.write("--- Global summary ---\n")
         out.write(report.summary.strip() + "\n")
+    if report.health is not None:
+        out.write("\n--- Pipeline health ---\n")
+        out.write(render_health(report.health))
+    return out.getvalue()
+
+
+def render_health(health) -> str:
+    """Render a report's :class:`~repro.ion.issues.ReportHealth` block."""
+    out = io.StringIO()
+    out.write(
+        f"queries: {health.queries} "
+        f"(attempts {health.attempts}, retries {health.retries})\n"
+    )
+    out.write(
+        f"degraded: {health.degraded} "
+        f"(drishti fallback: {health.fallbacks})\n"
+    )
+    trips = (
+        f" (tripped {health.breaker_trips}x this run)"
+        if health.breaker_trips
+        else ""
+    )
+    out.write(f"circuit breaker: {health.breaker_state}{trips}\n")
+    for note in health.notes:
+        out.write(f"  ! {note}\n")
     return out.getvalue()

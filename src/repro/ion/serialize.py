@@ -16,11 +16,15 @@ from repro.ion.issues import (
     DiagnosisReport,
     IssueType,
     MitigationNote,
+    ReportHealth,
     Severity,
 )
 from repro.util.errors import ReproError
 
-SCHEMA_VERSION = 1
+#: Version 2 added degraded-mode fields on diagnoses and the report
+#: health block; version-1 payloads (no such fields) remain readable.
+SCHEMA_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 
 def diagnosis_to_dict(diagnosis: Diagnosis) -> dict:
@@ -34,6 +38,9 @@ def diagnosis_to_dict(diagnosis: Diagnosis) -> dict:
         "code_output": diagnosis.code_output,
         "evidence": diagnosis.evidence,
         "mitigations": [note.value for note in diagnosis.mitigations],
+        "degraded": diagnosis.degraded,
+        "degraded_reason": diagnosis.degraded_reason,
+        "fallback_source": diagnosis.fallback_source,
     }
 
 
@@ -51,9 +58,43 @@ def diagnosis_from_dict(payload: dict) -> Diagnosis:
             mitigations=[
                 MitigationNote(note) for note in payload.get("mitigations", [])
             ],
+            degraded=bool(payload.get("degraded", False)),
+            degraded_reason=str(payload.get("degraded_reason", "")),
+            fallback_source=str(payload.get("fallback_source", "")),
         )
     except (KeyError, ValueError, TypeError) as exc:
         raise ReproError(f"malformed diagnosis payload: {exc}") from exc
+
+
+def health_to_dict(health: ReportHealth) -> dict:
+    """Encode a report's pipeline-health block."""
+    return {
+        "queries": health.queries,
+        "attempts": health.attempts,
+        "retries": health.retries,
+        "degraded": health.degraded,
+        "fallbacks": health.fallbacks,
+        "breaker_state": health.breaker_state,
+        "breaker_trips": health.breaker_trips,
+        "notes": list(health.notes),
+    }
+
+
+def health_from_dict(payload: dict) -> ReportHealth:
+    """Decode a pipeline-health block; raises ReproError when malformed."""
+    try:
+        return ReportHealth(
+            queries=int(payload.get("queries", 0)),
+            attempts=int(payload.get("attempts", 0)),
+            retries=int(payload.get("retries", 0)),
+            degraded=int(payload.get("degraded", 0)),
+            fallbacks=int(payload.get("fallbacks", 0)),
+            breaker_state=str(payload.get("breaker_state", "closed")),
+            breaker_trips=int(payload.get("breaker_trips", 0)),
+            notes=[str(note) for note in payload.get("notes", [])],
+        )
+    except (AttributeError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed health payload: {exc}") from exc
 
 
 def report_to_dict(report: DiagnosisReport) -> dict:
@@ -63,6 +104,9 @@ def report_to_dict(report: DiagnosisReport) -> dict:
         "trace_name": report.trace_name,
         "summary": report.summary,
         "diagnoses": [diagnosis_to_dict(d) for d in report.diagnoses],
+        "health": (
+            health_to_dict(report.health) if report.health is not None else None
+        ),
     }
 
 
@@ -72,11 +116,12 @@ def report_from_dict(payload: dict) -> DiagnosisReport:
         version = int(payload.get("schema_version", 0))
     except (TypeError, ValueError) as exc:
         raise ReproError("malformed report payload: bad schema version") from exc
-    if version != SCHEMA_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise ReproError(
             f"unsupported report schema version {version} "
-            f"(this build reads {SCHEMA_VERSION})"
+            f"(this build reads {_READABLE_VERSIONS})"
         )
+    health_payload = payload.get("health")
     try:
         return DiagnosisReport(
             trace_name=str(payload["trace_name"]),
@@ -84,6 +129,11 @@ def report_from_dict(payload: dict) -> DiagnosisReport:
             diagnoses=[
                 diagnosis_from_dict(item) for item in payload["diagnoses"]
             ],
+            health=(
+                health_from_dict(health_payload)
+                if health_payload is not None
+                else None
+            ),
         )
     except (KeyError, TypeError) as exc:
         raise ReproError(f"malformed report payload: {exc}") from exc

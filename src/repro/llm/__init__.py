@@ -3,15 +3,31 @@
 from repro.llm.assistants import Assistant, Run, RunStatus, RunStep, Thread
 from repro.llm.client import LLMClient, ScriptedLLM
 from repro.llm.expert.model import SimulatedExpertLLM
+from repro.llm.faults import (
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    FaultyCodeInterpreter,
+    FaultyLLMClient,
+)
 from repro.llm.interpreter import CodeInterpreter, ExecutionResult
 from repro.llm.messages import CodeCall, Completion, Message, Role, transcript
+from repro.llm.resilience import BackoffPolicy, BreakerState, CircuitBreaker
 
 __all__ = [
     "Assistant",
+    "BackoffPolicy",
+    "BreakerState",
+    "CircuitBreaker",
     "CodeCall",
     "CodeInterpreter",
     "Completion",
     "ExecutionResult",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "FaultyCodeInterpreter",
+    "FaultyLLMClient",
     "LLMClient",
     "Message",
     "Role",

@@ -1,0 +1,320 @@
+"""Deterministic fault injection for the LLM substrate.
+
+Chaos testing the analyzer against *real* flakiness is hopeless — the
+whole point of the reproduction is determinism.  Instead, failure
+behaviour is made testable by wrapping the two unreliable dependencies
+(the LLM client and the code interpreter) in shims that inject faults
+on a **seeded, reproducible schedule**:
+
+- :class:`FaultPlan` decides, per call index, whether that call faults
+  and how.  Plans are pure functions of the index, so a given plan
+  produces the same fault sequence on every run regardless of thread
+  scheduling.
+- :class:`FaultyLLMClient` wraps any :class:`~repro.llm.client.LLMClient`
+  and turns scheduled faults into timeouts, transient errors, malformed
+  or truncated completions, or slow responses.
+- :class:`FaultyCodeInterpreter` wraps a
+  :class:`~repro.llm.interpreter.CodeInterpreter` and turns scheduled
+  faults into harness-level interpreter crashes (raised) or in-sandbox
+  execution failures (returned, feeding the model's debug loop).
+
+``FaultPlan.parse`` understands the compact CLI syntax used by
+``ion --inject-faults`` / ``ion-batch --inject-faults``::
+
+    transient            every call fails transiently
+    transient:0.3        30% of calls fail, evenly spread
+    timeout:0.5:seed=7   50% of calls fail, seeded Bernoulli
+    interpreter_crash    every interpreter execution crashes
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.llm.interpreter import CodeInterpreter, ExecutionResult
+from repro.llm.messages import Completion, Message, Role
+from repro.util.errors import (
+    CodeInterpreterError,
+    FaultSpecError,
+    LLMTimeoutError,
+    LLMTransientError,
+)
+
+
+class FaultKind(enum.Enum):
+    """The fault taxonomy the resilience layer must survive."""
+
+    TIMEOUT = "timeout"  # call exceeds its deadline -> LLMTimeoutError
+    TRANSIENT = "transient"  # rate limit / 5xx -> LLMTransientError
+    MALFORMED = "malformed"  # completion arrives but does not parse
+    TRUNCATED = "truncated"  # completion arrives cut off mid-text
+    SLOW = "slow"  # completion arrives, late
+    INTERPRETER_CRASH = "interpreter_crash"  # harness-level sandbox crash
+
+
+#: Aliases accepted by :meth:`FaultPlan.parse`.
+_KIND_ALIASES = {
+    "interpreter": FaultKind.INTERPRETER_CRASH,
+    **{kind.value: kind for kind in FaultKind},
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, for post-hoc assertions."""
+
+    index: int
+    kind: FaultKind
+    stage: str  # "llm" or "interpreter"
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of faults.
+
+    The decision for call ``i`` is a pure function of ``i`` — two runs
+    of the same plan over the same number of calls inject identical
+    faults, whatever the interleaving of the analyzer's prompt
+    threads.  The plan keeps a thread-safe call counter and a record
+    of every fault it injected.
+    """
+
+    def __init__(
+        self,
+        decider: Callable[[int], FaultKind | None],
+        description: str = "custom",
+    ) -> None:
+        self._decider = decider
+        self.description = description
+        self._lock = threading.Lock()
+        self._calls = 0
+        self.events: list[FaultEvent] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({self.description})"
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """A plan that never faults."""
+        return cls(lambda index: None, "none")
+
+    @classmethod
+    def always(cls, kind: FaultKind) -> "FaultPlan":
+        """Every call faults with ``kind`` (rate 1.0)."""
+        return cls(lambda index: kind, f"always:{kind.value}")
+
+    @classmethod
+    def ratio(cls, rate: float, kind: FaultKind) -> "FaultPlan":
+        """Faults spread evenly at ``rate``, never two in a row for rate < 0.5.
+
+        Call ``i`` faults iff the running total ``floor((i+1)*rate)``
+        advances — the Bresenham spacing that makes recovery behaviour
+        deterministic (a retry budget of 2 always clears a rate-0.3
+        plan, for example).
+        """
+        if not 0 <= rate <= 1:
+            raise FaultSpecError(f"fault rate {rate} outside [0, 1]")
+
+        def decide(index: int) -> FaultKind | None:
+            if math.floor((index + 1) * rate) > math.floor(index * rate):
+                return kind
+            return None
+
+        return cls(decide, f"ratio:{kind.value}:{rate}")
+
+    @classmethod
+    def seeded(cls, seed: int, rate: float, kind: FaultKind) -> "FaultPlan":
+        """Bernoulli faults at ``rate``, reproducible from ``seed``."""
+        if not 0 <= rate <= 1:
+            raise FaultSpecError(f"fault rate {rate} outside [0, 1]")
+
+        def decide(index: int) -> FaultKind | None:
+            if random.Random(f"{seed}:{index}").random() < rate:
+                return kind
+            return None
+
+        return cls(decide, f"seeded:{kind.value}:{rate}:{seed}")
+
+    @classmethod
+    def first(cls, count: int, kind: FaultKind) -> "FaultPlan":
+        """Only the first ``count`` calls fault."""
+        return cls(
+            lambda index: kind if index < count else None,
+            f"first:{kind.value}:{count}",
+        )
+
+    @classmethod
+    def script(
+        cls, kinds: list[FaultKind | None], cycle: bool = False
+    ) -> "FaultPlan":
+        """An explicit per-call schedule; past the end, no faults (or cycle)."""
+        kinds = list(kinds)
+        if cycle and not kinds:
+            raise FaultSpecError("a cycling script needs at least one entry")
+
+        def decide(index: int) -> FaultKind | None:
+            if cycle:
+                return kinds[index % len(kinds)]
+            if index < len(kinds):
+                return kinds[index]
+            return None
+
+        return cls(decide, f"script[{len(kinds)}]")
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse the CLI syntax ``kind[:rate][:seed=N]``."""
+        parts = [part.strip() for part in spec.split(":") if part.strip()]
+        if not parts:
+            raise FaultSpecError("empty fault specification")
+        kind = _KIND_ALIASES.get(parts[0].lower())
+        if kind is None:
+            known = ", ".join(sorted(_KIND_ALIASES))
+            raise FaultSpecError(
+                f"unknown fault kind {parts[0]!r} (known: {known})"
+            )
+        rate = 1.0
+        seed: int | None = None
+        for part in parts[1:]:
+            if part.startswith("seed="):
+                try:
+                    seed = int(part[len("seed="):])
+                except ValueError as exc:
+                    raise FaultSpecError(f"bad seed in {spec!r}") from exc
+            else:
+                try:
+                    rate = float(part)
+                except ValueError as exc:
+                    raise FaultSpecError(f"bad rate in {spec!r}") from exc
+        if not 0 <= rate <= 1:
+            raise FaultSpecError(f"fault rate {rate} outside [0, 1]")
+        if seed is not None:
+            return cls.seeded(seed, rate, kind)
+        if rate >= 1.0:
+            return cls.always(kind)
+        return cls.ratio(rate, kind)
+
+    # -- scheduling ----------------------------------------------------
+
+    def next_fault(self, stage: str = "llm") -> FaultKind | None:
+        """The fault (if any) for the next call, advancing the counter."""
+        with self._lock:
+            index = self._calls
+            self._calls += 1
+        kind = self._decider(index)
+        if kind is not None:
+            with self._lock:
+                self.events.append(FaultEvent(index=index, kind=kind, stage=stage))
+        return kind
+
+    @property
+    def calls(self) -> int:
+        with self._lock:
+            return self._calls
+
+    @property
+    def faults_injected(self) -> int:
+        with self._lock:
+            return len(self.events)
+
+
+class FaultyLLMClient:
+    """An :class:`LLMClient` wrapper that injects scheduled faults.
+
+    ``only_matching`` restricts injection to calls whose last user
+    message contains the given substring — the chaos matrix uses the
+    prompt headers (``"# ION Summary Request"`` etc.) to target one
+    pipeline stage; non-matching calls pass through without consuming
+    a plan tick.
+    """
+
+    def __init__(
+        self,
+        inner,
+        plan: FaultPlan,
+        only_matching: str | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        slow_delay: float = 0.05,
+    ) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.only_matching = only_matching
+        self._sleep = sleep
+        self.slow_delay = slow_delay
+
+    def _matches(self, messages: list[Message]) -> bool:
+        if self.only_matching is None:
+            return True
+        for message in reversed(messages):
+            if message.role == Role.USER:
+                return self.only_matching in message.content
+        return False
+
+    def complete(self, messages: list[Message]) -> Completion:
+        if not self._matches(messages):
+            return self.inner.complete(messages)
+        kind = self.plan.next_fault("llm")
+        if kind is None or kind is FaultKind.INTERPRETER_CRASH:
+            return self.inner.complete(messages)
+        if kind is FaultKind.TIMEOUT:
+            raise LLMTimeoutError("injected fault: call exceeded its deadline")
+        if kind is FaultKind.TRANSIENT:
+            raise LLMTransientError("injected fault: transient upstream error")
+        if kind is FaultKind.SLOW:
+            self._sleep(self.slow_delay)
+            return self.inner.complete(messages)
+        completion = self.inner.complete(messages)
+        if kind is FaultKind.MALFORMED:
+            return Completion(
+                content=(
+                    "@@@ garbled completion @@@ [severity=indeterminate] "
+                    "lorem counters ipsum"
+                )
+            )
+        # TRUNCATED: the tail (severity/mitigation markers included) is lost.
+        cut = max(8, len(completion.content) // 3)
+        return Completion(content=completion.content[:cut])
+
+
+class FaultyCodeInterpreter:
+    """A :class:`CodeInterpreter` wrapper that injects sandbox faults.
+
+    ``INTERPRETER_CRASH`` raises — simulating the harness itself dying
+    mid-execution, which the analyzer must absorb.  Any other
+    scheduled kind is rendered as an in-sandbox execution failure,
+    which merely feeds the model's debug-retry loop.
+    """
+
+    def __init__(self, inner: CodeInterpreter, plan: FaultPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+
+    @property
+    def workdir(self):
+        return self.inner.workdir
+
+    def run(self, code: str) -> ExecutionResult:
+        kind = self.plan.next_fault("interpreter")
+        if kind is FaultKind.INTERPRETER_CRASH:
+            raise CodeInterpreterError(
+                "injected fault: code interpreter crashed mid-execution"
+            )
+        if kind is not None:
+            return ExecutionResult(
+                stdout="",
+                error="[injected fault] execution backend unavailable",
+            )
+        return self.inner.run(code)
+
+    def run_or_raise(self, code: str) -> str:
+        result = self.run(code)
+        if not result.ok:
+            raise CodeInterpreterError(result.error)
+        return result.stdout

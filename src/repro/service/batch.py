@@ -21,6 +21,7 @@ import shutil
 import tempfile
 import threading
 import time
+import traceback as traceback_module
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -65,6 +66,10 @@ class TraceOutcome:
     report: DiagnosisReport | None = None
     extraction: ExtractionResult | None = None
     error: str | None = None
+    #: Full worker traceback of a FAILED outcome (None on success) —
+    #: ``error`` keeps the one-line summary for tables, this keeps the
+    #: frames a post-mortem needs.
+    traceback: str | None = None
     duration_seconds: float = 0.0
     cache_hit: bool = False
 
@@ -79,6 +84,13 @@ class TraceOutcome:
             return 0
         return sum(1 for d in self.report.diagnoses if d.detected)
 
+    @property
+    def degraded_count(self) -> int:
+        """Per-issue diagnoses served by a degraded-mode fallback."""
+        if self.report is None:
+            return 0
+        return sum(1 for d in self.report.diagnoses if d.degraded)
+
 
 @dataclass
 class CampaignSummary:
@@ -88,6 +100,8 @@ class CampaignSummary:
     elapsed_seconds: float
     cache: CacheStats | None = None
     metrics: dict[str, float] = field(default_factory=dict)
+    #: Final state of the circuit breaker shared by the worker pool.
+    breaker_state: str = "closed"
 
     @property
     def succeeded(self) -> list[TraceOutcome]:
@@ -98,11 +112,34 @@ class CampaignSummary:
         return [o for o in self.outcomes if not o.ok]
 
     @property
+    def degraded(self) -> list[TraceOutcome]:
+        """Successful outcomes that contain degraded-mode diagnoses."""
+        return [o for o in self.succeeded if o.degraded_count > 0]
+
+    @property
     def cache_hit_rate(self) -> float:
         done = self.succeeded
         if not done:
             return 0.0
         return sum(1 for o in done if o.cache_hit) / len(done)
+
+    def health_summary(self) -> dict[str, object]:
+        """Aggregate LLM-pipeline health across every per-trace report."""
+        healths = [
+            o.report.health
+            for o in self.outcomes
+            if o.report is not None and o.report.health is not None
+        ]
+        return {
+            "queries": sum(h.queries for h in healths),
+            "attempts": sum(h.attempts for h in healths),
+            "retries": sum(h.retries for h in healths),
+            "degraded_queries": sum(h.degraded for h in healths),
+            "drishti_fallbacks": sum(h.fallbacks for h in healths),
+            "breaker_trips": sum(h.breaker_trips for h in healths),
+            "breaker_state": self.breaker_state,
+            "degraded_traces": len(self.degraded),
+        }
 
     def render(self) -> str:
         """One-line-per-trace campaign table plus totals."""
@@ -111,6 +148,8 @@ class CampaignSummary:
         for outcome in self.outcomes:
             if outcome.ok:
                 status = f"{outcome.issue_count} issue(s)"
+                if outcome.degraded_count:
+                    status += f", {outcome.degraded_count} DEGRADED"
                 cached = "hit " if outcome.cache_hit else "miss"
             else:
                 status = f"FAILED: {outcome.error}"
@@ -124,6 +163,19 @@ class CampaignSummary:
             f"in {self.elapsed_seconds:.3f}s "
             f"(cache hit rate {self.cache_hit_rate:.0%})"
         )
+        health = self.health_summary()
+        if health["degraded_queries"] or health["retries"]:
+            lines.append(
+                f"health: {health['retries']} retried and "
+                f"{health['degraded_queries']} degraded quer(ies) across "
+                f"{health['degraded_traces']} trace(s); "
+                f"breaker {health['breaker_state']}"
+                + (
+                    f" after {health['breaker_trips']} trip(s)"
+                    if health["breaker_trips"]
+                    else ""
+                )
+            )
         return "\n".join(lines)
 
 
@@ -142,11 +194,17 @@ class BatchNavigator:
         config: BatchConfig | None = None,
         cache: ExtractionCache | None = None,
         metrics: MetricsRegistry | None = None,
+        interpreter_factory=None,
     ) -> None:
         self.client = client or SimulatedExpertLLM()
         self.config = config or BatchConfig()
         self.metrics = metrics or MetricsRegistry()
         self.cache = cache
+        self.interpreter_factory = interpreter_factory
+        # One breaker for the whole campaign: sustained LLM-backend
+        # failure trips every worker at once instead of each worker
+        # rediscovering it.
+        self.breaker = self.config.analyzer.resilience.breaker()
         self.extractor = Extractor(
             rpc_size=self.config.rpc_size, metrics=self.metrics
         )
@@ -205,6 +263,7 @@ class BatchNavigator:
             elapsed_seconds=elapsed,
             cache=self.cache.stats if self.cache is not None else None,
             metrics=self.metrics.snapshot(),
+            breaker_state=self.breaker.state.value,
         )
 
     def run_files(self, paths) -> CampaignSummary:
@@ -222,6 +281,8 @@ class BatchNavigator:
                 client=self.client,
                 config=self.config.analyzer,
                 metrics=self.metrics,
+                interpreter_factory=self.interpreter_factory,
+                breaker=self.breaker,
             )
             self._local.analyzer = analyzer
         return analyzer
@@ -244,10 +305,11 @@ class BatchNavigator:
                 hit = False
             outcome.extraction = extraction
             outcome.cache_hit = hit
-            outcome.report = self._analyzer().analyze(extraction, name)
+            outcome.report = self._analyzer().analyze(extraction, name, log=log)
             self.metrics.counter("batch.traces.ok").inc()
         except Exception as exc:  # noqa: BLE001 — isolate per-trace faults
             outcome.error = f"{type(exc).__name__}: {exc}"
+            outcome.traceback = traceback_module.format_exc()
             self.metrics.counter("batch.traces.failed").inc()
         outcome.duration_seconds = time.perf_counter() - started
         return outcome

@@ -95,6 +95,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="abort the campaign on the first per-trace failure",
     )
+    parser.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        help="retry budget per LLM query (default: 3)",
+    )
+    parser.add_argument(
+        "--query-deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per LLM query including retries "
+             "(default: 30)",
+    )
+    parser.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        help="chaos-testing aid: inject deterministic LLM/interpreter "
+             "faults, e.g. 'transient:0.3' (failed queries degrade to "
+             "Drishti heuristics; see `ion --help`)",
+    )
     return parser
 
 
@@ -117,17 +132,29 @@ def main(argv: list[str] | None = None) -> int:
     if args.cache_size is not None and args.cache_dir is None:
         parser.error("--cache-size requires --cache-dir")
     try:
+        from repro.ion.cli import fault_injection_from_args, resilience_from_args
+        from repro.llm.expert.model import SimulatedExpertLLM
+
         cache = None
         if args.cache_dir is not None:
             max_bytes = parse_size(args.cache_size) if args.cache_size else None
             cache = ExtractionCache(args.cache_dir, max_bytes=max_bytes)
         config = BatchConfig(
             max_workers=args.workers,
-            analyzer=AnalyzerConfig(strategy=args.strategy),
+            analyzer=AnalyzerConfig(
+                strategy=args.strategy,
+                resilience=resilience_from_args(args),
+            ),
             fail_fast=args.fail_fast,
         )
+        wrap_client, interpreter_factory = fault_injection_from_args(args)
         traces = _gather_traces(args)
-        with BatchNavigator(config=config, cache=cache) as navigator:
+        with BatchNavigator(
+            client=wrap_client(SimulatedExpertLLM()),
+            config=config,
+            cache=cache,
+            interpreter_factory=interpreter_factory,
+        ) as navigator:
             summary = navigator.run(traces)
     except (ReproError, OSError, ValueError) as exc:
         print(f"ion-batch: error: {exc}", file=sys.stderr)
@@ -151,14 +178,17 @@ def main(argv: list[str] | None = None) -> int:
             "elapsed_seconds": summary.elapsed_seconds,
             "cache_hit_rate": summary.cache_hit_rate,
             "metrics": summary.metrics,
+            "health": summary.health_summary(),
             "traces": [
                 {
                     "name": o.name,
                     "ok": o.ok,
                     "error": o.error,
+                    "traceback": o.traceback,
                     "duration_seconds": o.duration_seconds,
                     "cache_hit": o.cache_hit,
                     "issue_count": o.issue_count,
+                    "degraded_count": o.degraded_count,
                     "report": report_to_dict(o.report) if o.report else None,
                 }
                 for o in summary.outcomes

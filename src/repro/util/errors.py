@@ -41,6 +41,22 @@ class PromptFormatError(LLMError):
     """A prompt could not be parsed into a structured request."""
 
 
+class LLMTransientError(LLMError):
+    """A retryable LLM failure (rate limit, 5xx, dropped connection)."""
+
+
+class LLMTimeoutError(LLMError):
+    """An LLM call exceeded its per-query deadline."""
+
+
+class CircuitOpenError(LLMError):
+    """The LLM circuit breaker is open; the call was not attempted."""
+
+
+class FaultSpecError(LLMError):
+    """A fault-injection plan specification could not be parsed."""
+
+
 class CodeInterpreterError(LLMError):
     """Generated analysis code failed even after debug retries."""
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.ion.analyzer import Analyzer, AnalyzerConfig
+from repro.ion.analyzer import Analyzer, AnalyzerConfig, ResilienceConfig
 from repro.ion.issues import IssueType, MitigationNote, Severity
 from repro.llm.client import ScriptedLLM
 from repro.llm.messages import CodeCall, Completion
@@ -96,10 +96,14 @@ class TestMonolithicStrategy:
 
 class TestCompletionParsing:
     def _analyze_with(self, extraction, completions, issues):
+        # Strict mode: parsing failures should surface as exceptions
+        # here, not degrade to heuristics (see test_chaos for the
+        # graceful-degradation behaviour).
         analyzer = Analyzer(
             client=ScriptedLLM(completions),
             config=AnalyzerConfig(
-                issues=issues, parallel_prompts=1, summarize=False
+                issues=issues, parallel_prompts=1, summarize=False,
+                resilience=ResilienceConfig(max_attempts=1, degrade=False),
             ),
         )
         return analyzer.analyze(extraction, "t")
@@ -154,6 +158,7 @@ class TestCompletionParsing:
             config=AnalyzerConfig(
                 issues=(IssueType.SMALL_IO,), parallel_prompts=1,
                 summarize=False, max_tool_rounds=2,
+                resilience=ResilienceConfig(max_attempts=1, degrade=False),
             ),
         )
         with pytest.raises(AnalysisError, match="tool budget"):

@@ -174,9 +174,16 @@ class TestBatchFailureIsolation:
         (failure,) = summary.failed
         assert failure.name == "broken"
         assert "ExtractionError" in failure.error
+        # The outcome carries the full worker traceback, not just the
+        # one-line summary — a post-mortem needs the frames.
+        assert failure.traceback is not None
+        assert "Traceback (most recent call last):" in failure.traceback
+        assert "ExtractionError" in failure.traceback
         assert failure.report is None
         assert failure.issue_count == 0
         assert summary.metrics["batch.traces.failed"] == 1
+        for success in summary.succeeded:
+            assert success.traceback is None
 
     def test_fail_fast_raises(self):
         with BatchNavigator(

@@ -1,0 +1,238 @@
+"""Unit tests for the deterministic fault-injection layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultyCodeInterpreter,
+    FaultyLLMClient,
+)
+from repro.llm.interpreter import CodeInterpreter, ExecutionResult
+from repro.llm.messages import Completion, Message
+from repro.util.errors import (
+    CodeInterpreterError,
+    FaultSpecError,
+    LLMTimeoutError,
+    LLMTransientError,
+)
+
+
+def faults_of(plan: FaultPlan, calls: int) -> list[FaultKind | None]:
+    return [plan.next_fault() for _ in range(calls)]
+
+
+class EchoClient:
+    """Minimal LLM stand-in recording what it was asked."""
+
+    def __init__(self, content: str = "a perfectly reasonable completion"):
+        self.content = content
+        self.calls = 0
+
+    def complete(self, messages):
+        self.calls += 1
+        return Completion(content=self.content)
+
+
+class TestFaultPlan:
+    def test_none_never_faults(self):
+        plan = FaultPlan.none()
+        assert faults_of(plan, 50) == [None] * 50
+        assert plan.calls == 50
+        assert plan.faults_injected == 0
+
+    def test_always_faults_every_call(self):
+        plan = FaultPlan.always(FaultKind.TIMEOUT)
+        assert faults_of(plan, 10) == [FaultKind.TIMEOUT] * 10
+        assert plan.faults_injected == 10
+
+    def test_ratio_hits_exact_count(self):
+        plan = FaultPlan.ratio(0.3, FaultKind.TRANSIENT)
+        kinds = faults_of(plan, 100)
+        assert sum(k is not None for k in kinds) == 30
+
+    def test_ratio_never_two_consecutive_below_half(self):
+        plan = FaultPlan.ratio(0.3, FaultKind.TRANSIENT)
+        kinds = faults_of(plan, 200)
+        for left, right in zip(kinds, kinds[1:]):
+            assert not (left is not None and right is not None)
+
+    def test_ratio_is_a_pure_function_of_the_index(self):
+        first = faults_of(FaultPlan.ratio(0.4, FaultKind.MALFORMED), 60)
+        second = faults_of(FaultPlan.ratio(0.4, FaultKind.MALFORMED), 60)
+        assert first == second
+
+    def test_ratio_bounds_checked(self):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.ratio(1.5, FaultKind.TIMEOUT)
+        with pytest.raises(FaultSpecError):
+            FaultPlan.ratio(-0.1, FaultKind.TIMEOUT)
+
+    def test_seeded_reproducible_and_seed_sensitive(self):
+        first = faults_of(FaultPlan.seeded(7, 0.5, FaultKind.TIMEOUT), 100)
+        again = faults_of(FaultPlan.seeded(7, 0.5, FaultKind.TIMEOUT), 100)
+        other = faults_of(FaultPlan.seeded(8, 0.5, FaultKind.TIMEOUT), 100)
+        assert first == again
+        assert first != other
+        rate = sum(k is not None for k in first) / 100
+        assert 0.25 < rate < 0.75  # roughly Bernoulli(0.5)
+
+    def test_first_faults_only_the_head(self):
+        plan = FaultPlan.first(3, FaultKind.TRANSIENT)
+        kinds = faults_of(plan, 6)
+        assert kinds == [FaultKind.TRANSIENT] * 3 + [None] * 3
+
+    def test_script_follows_the_schedule_then_stops(self):
+        plan = FaultPlan.script([FaultKind.TIMEOUT, None, FaultKind.SLOW])
+        assert faults_of(plan, 5) == [
+            FaultKind.TIMEOUT, None, FaultKind.SLOW, None, None,
+        ]
+
+    def test_script_can_cycle(self):
+        plan = FaultPlan.script([FaultKind.TIMEOUT, None], cycle=True)
+        assert faults_of(plan, 4) == [
+            FaultKind.TIMEOUT, None, FaultKind.TIMEOUT, None,
+        ]
+        with pytest.raises(FaultSpecError):
+            FaultPlan.script([], cycle=True)
+
+    def test_events_record_index_kind_and_stage(self):
+        plan = FaultPlan.first(1, FaultKind.TRANSIENT)
+        plan.next_fault("llm")
+        plan.next_fault("llm")
+        assert len(plan.events) == 1
+        event = plan.events[0]
+        assert (event.index, event.kind, event.stage) == (
+            0, FaultKind.TRANSIENT, "llm",
+        )
+
+
+class TestFaultPlanParse:
+    def test_bare_kind_means_always(self):
+        plan = FaultPlan.parse("transient")
+        assert faults_of(plan, 3) == [FaultKind.TRANSIENT] * 3
+
+    def test_kind_with_rate_spreads_evenly(self):
+        plan = FaultPlan.parse("timeout:0.5")
+        kinds = faults_of(plan, 10)
+        assert sum(k is not None for k in kinds) == 5
+
+    def test_kind_with_seed_is_bernoulli(self):
+        plan = FaultPlan.parse("malformed:0.5:seed=7")
+        reference = FaultPlan.seeded(7, 0.5, FaultKind.MALFORMED)
+        assert faults_of(plan, 40) == faults_of(reference, 40)
+
+    def test_interpreter_alias(self):
+        plan = FaultPlan.parse("interpreter")
+        assert plan.next_fault() is FaultKind.INTERPRETER_CRASH
+
+    @pytest.mark.parametrize(
+        "spec", ["", "gremlins", "timeout:nope", "timeout:2.0", "timeout:seed=x"]
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse(spec)
+
+
+class TestFaultyLLMClient:
+    def test_no_fault_passes_through(self):
+        inner = EchoClient()
+        client = FaultyLLMClient(inner, FaultPlan.none())
+        completion = client.complete([Message.user("hello")])
+        assert completion.content == inner.content
+        assert inner.calls == 1
+
+    def test_timeout_raises(self):
+        client = FaultyLLMClient(
+            EchoClient(), FaultPlan.always(FaultKind.TIMEOUT)
+        )
+        with pytest.raises(LLMTimeoutError):
+            client.complete([Message.user("hello")])
+
+    def test_transient_raises(self):
+        client = FaultyLLMClient(
+            EchoClient(), FaultPlan.always(FaultKind.TRANSIENT)
+        )
+        with pytest.raises(LLMTransientError):
+            client.complete([Message.user("hello")])
+
+    def test_malformed_replaces_content(self):
+        client = FaultyLLMClient(
+            EchoClient(), FaultPlan.always(FaultKind.MALFORMED)
+        )
+        completion = client.complete([Message.user("hello")])
+        assert "[severity=indeterminate]" in completion.content
+
+    def test_truncated_cuts_the_tail(self):
+        inner = EchoClient("x" * 90 + " [severity=critical]")
+        client = FaultyLLMClient(inner, FaultPlan.always(FaultKind.TRUNCATED))
+        completion = client.complete([Message.user("hello")])
+        assert len(completion.content) < len(inner.content)
+        assert "[severity=" not in completion.content
+
+    def test_slow_sleeps_then_succeeds(self):
+        naps = []
+        client = FaultyLLMClient(
+            EchoClient(),
+            FaultPlan.always(FaultKind.SLOW),
+            sleep=naps.append,
+            slow_delay=0.123,
+        )
+        completion = client.complete([Message.user("hello")])
+        assert completion.content
+        assert naps == [0.123]
+
+    def test_interpreter_kind_is_a_no_op_on_the_llm_path(self):
+        client = FaultyLLMClient(
+            EchoClient(), FaultPlan.always(FaultKind.INTERPRETER_CRASH)
+        )
+        assert client.complete([Message.user("hello")]).content
+
+    def test_only_matching_spares_other_stages(self):
+        plan = FaultPlan.always(FaultKind.TRANSIENT)
+        client = FaultyLLMClient(
+            EchoClient(), plan, only_matching="# ION Summary Request"
+        )
+        # Non-matching prompt: passes through, does not consume a tick.
+        assert client.complete([Message.user("# Something else")]).content
+        assert plan.calls == 0
+        with pytest.raises(LLMTransientError):
+            client.complete([Message.user("# ION Summary Request\n...")])
+        assert plan.calls == 1
+
+
+class TestFaultyCodeInterpreter:
+    def make(self, tmp_path, plan):
+        return FaultyCodeInterpreter(CodeInterpreter(tmp_path), plan)
+
+    def test_passthrough_without_fault(self, tmp_path):
+        interpreter = self.make(tmp_path, FaultPlan.none())
+        result = interpreter.run("print(40 + 2)")
+        assert result.ok and result.stdout.strip() == "42"
+        assert interpreter.workdir == tmp_path
+
+    def test_crash_kind_raises(self, tmp_path):
+        interpreter = self.make(
+            tmp_path, FaultPlan.always(FaultKind.INTERPRETER_CRASH)
+        )
+        with pytest.raises(CodeInterpreterError, match="injected fault"):
+            interpreter.run("print(1)")
+
+    def test_other_kinds_surface_as_in_sandbox_errors(self, tmp_path):
+        interpreter = self.make(
+            tmp_path, FaultPlan.always(FaultKind.TRANSIENT)
+        )
+        result = interpreter.run("print(1)")
+        assert isinstance(result, ExecutionResult)
+        assert not result.ok
+        assert "injected fault" in result.error
+
+    def test_run_or_raise_converts_injected_errors(self, tmp_path):
+        interpreter = self.make(
+            tmp_path, FaultPlan.first(1, FaultKind.TRANSIENT)
+        )
+        with pytest.raises(CodeInterpreterError):
+            interpreter.run_or_raise("print(1)")
+        assert interpreter.run_or_raise("print(2)").strip() == "2"

@@ -17,21 +17,23 @@ import difflib
 import os
 from pathlib import Path
 
+from repro.ion.analyzer import AnalyzerConfig, ResilienceConfig
 from repro.ion.pipeline import IoNavigator
 from repro.ion.report import render_report
+from repro.llm.expert.model import SimulatedExpertLLM
+from repro.llm.faults import FaultKind, FaultPlan, FaultyLLMClient
 
 GOLDEN = Path(__file__).parent / "golden" / "ior-easy-2k-shared.report.txt"
+GOLDEN_DEGRADED = (
+    Path(__file__).parent / "golden" / "ior-easy-2k-shared-degraded.report.txt"
+)
 
 
-def test_diagnosis_report_matches_golden_snapshot(easy_2k_bundle):
-    with IoNavigator() as navigator:
-        result = navigator.diagnose(easy_2k_bundle.log, easy_2k_bundle.name)
-    rendered = render_report(result.report)
-
+def _check_against(golden: Path, rendered: str) -> None:
     if os.environ.get("ION_REGEN_GOLDEN"):
-        GOLDEN.write_text(rendered, encoding="utf-8")
+        golden.write_text(rendered, encoding="utf-8")
 
-    expected = GOLDEN.read_text(encoding="utf-8")
+    expected = golden.read_text(encoding="utf-8")
     if rendered != expected:
         diff = "\n".join(
             difflib.unified_diff(
@@ -46,6 +48,33 @@ def test_diagnosis_report_matches_golden_snapshot(easy_2k_bundle):
             "diagnosis report drifted from the golden snapshot; if the "
             "change is intentional rerun with ION_REGEN_GOLDEN=1.\n" + diff
         )
+
+
+def test_diagnosis_report_matches_golden_snapshot(easy_2k_bundle):
+    with IoNavigator() as navigator:
+        result = navigator.diagnose(easy_2k_bundle.log, easy_2k_bundle.name)
+    _check_against(GOLDEN, render_report(result.report))
+
+
+def test_degraded_run_matches_golden_snapshot(easy_2k_bundle):
+    # Total LLM outage, serial dispatch: every query fails twice and
+    # degrades onto the Drishti heuristics (the breaker opens after
+    # the fifth failure, so later queries short-circuit).  Everything
+    # about the run — fault schedule, retry counts, fallback text,
+    # health section — is deterministic and snapshotted.
+    config = AnalyzerConfig(
+        parallel_prompts=1,
+        resilience=ResilienceConfig(
+            max_attempts=2, backoff_base=0.0, backoff_max=0.0
+        ),
+    )
+    client = FaultyLLMClient(
+        SimulatedExpertLLM(), FaultPlan.always(FaultKind.TRANSIENT)
+    )
+    with IoNavigator(client=client, config=config) as navigator:
+        result = navigator.diagnose(easy_2k_bundle.log, easy_2k_bundle.name)
+    assert all(d.degraded for d in result.report.diagnoses)
+    _check_against(GOLDEN_DEGRADED, render_report(result.report))
 
 
 def test_golden_snapshot_covers_every_issue(easy_2k_bundle):

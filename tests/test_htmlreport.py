@@ -114,3 +114,32 @@ class TestCliOutputs:
         out = capsys.readouterr().out
         assert "Consistency check" in out
         assert "agreement:" in out
+
+
+class TestDegradedRendering:
+    def degraded_report(self):
+        from repro.ion.issues import ReportHealth
+
+        report = sample_report()
+        report.diagnoses[0].degraded = True
+        report.diagnoses[0].degraded_reason = "LLMTimeoutError: <late>"
+        report.diagnoses[0].fallback_source = "drishti"
+        report.health = ReportHealth(
+            queries=4, attempts=7, retries=3, degraded=1, fallbacks=1,
+            breaker_state="open", breaker_trips=2,
+            notes=["query:misaligned_io: LLMTimeoutError: <late>"],
+        )
+        return report
+
+    def test_degraded_marker_and_health_table(self):
+        page = render_html(self.degraded_report())
+        assert "DEGRADED (Drishti heuristic fallback)" in page
+        assert "LLMTimeoutError: &lt;late&gt;" in page  # escaped
+        assert "Pipeline health" in page
+        assert "open (tripped 2x this run)" in page
+        assert "drishti fallbacks" in page
+
+    def test_healthy_report_has_no_degraded_marker(self):
+        page = render_html(sample_report())
+        assert "DEGRADED" not in page
+        assert "Pipeline health" not in page  # no health block attached

@@ -1,0 +1,215 @@
+"""Property tests (hypothesis) for the resilience primitives.
+
+The backoff policy and circuit breaker were designed to be pure enough
+to property test: backoff caps form a monotone envelope that jitter
+only shrinks and deadlines truncate; the breaker is a three-state
+machine whose transitions are checked against an independent reference
+model under arbitrary success/failure/clock-advance sequences.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.resilience import BackoffPolicy, BreakerState, CircuitBreaker
+
+policy_strategy = st.builds(
+    BackoffPolicy,
+    max_attempts=st.integers(1, 8),
+    base_delay=st.floats(0.0, 2.0, allow_nan=False),
+    multiplier=st.floats(1.0, 4.0, allow_nan=False),
+    # max_delay must dominate base_delay; add on top of the base range.
+    max_delay=st.floats(2.0, 10.0, allow_nan=False),
+    jitter=st.floats(0.0, 1.0, allow_nan=False),
+    deadline=st.one_of(st.none(), st.floats(0.0, 5.0, allow_nan=False)),
+)
+
+
+class TestBackoffProperties:
+    @given(policy=policy_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_caps_are_monotone_non_decreasing(self, policy):
+        caps = [policy.cap(n) for n in range(1, policy.max_attempts + 1)]
+        assert all(a <= b for a, b in zip(caps, caps[1:]))
+        assert all(cap <= policy.max_delay for cap in caps)
+
+    @given(policy=policy_strategy, seed=st.integers(0, 2**16))
+    @settings(max_examples=100, deadline=None)
+    def test_jitter_only_shrinks_within_bounds(self, policy, seed):
+        rng = random.Random(seed)
+        for attempt in range(1, policy.max_attempts + 1):
+            cap = policy.cap(attempt)
+            delay = policy.delay(attempt, rng)
+            assert cap * (1.0 - policy.jitter) <= delay <= cap
+
+    @given(policy=policy_strategy, seed=st.integers(0, 2**16))
+    @settings(max_examples=100, deadline=None)
+    def test_schedule_respects_deadline_and_length(self, policy, seed):
+        delays = policy.schedule(random.Random(seed))
+        assert len(delays) <= policy.max_attempts - 1
+        assert all(delay >= 0 for delay in delays)
+        if policy.deadline is not None:
+            assert sum(delays) <= policy.deadline + 1e-9
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_schedule_is_reproducible_from_the_rng(self, seed):
+        policy = BackoffPolicy(max_attempts=6, jitter=0.5)
+        assert policy.schedule(random.Random(seed)) == policy.schedule(
+            random.Random(seed)
+        )
+
+
+class ModelBreaker:
+    """Independent reference model of the documented breaker contract."""
+
+    def __init__(self, threshold, recovery, probes):
+        self.threshold = threshold
+        self.recovery = recovery
+        self.probes = probes
+        self.state = BreakerState.CLOSED
+        self.failures = 0
+        self.successes = 0
+        self.opened_at = 0.0
+        self.trips = 0
+        self.now = 0.0
+
+    def _trip(self):
+        self.state = BreakerState.OPEN
+        self.opened_at = self.now
+        self.failures = 0
+        self.successes = 0
+        self.trips += 1
+
+    def allow(self):
+        if self.state is BreakerState.OPEN:
+            if self.now - self.opened_at >= self.recovery:
+                self.state = BreakerState.HALF_OPEN
+                self.successes = 0
+                return True
+            return False
+        return True
+
+    def record_success(self):
+        if self.state is BreakerState.HALF_OPEN:
+            self.successes += 1
+            if self.successes >= self.probes:
+                self.state = BreakerState.CLOSED
+                self.failures = 0
+        else:
+            self.failures = 0
+
+    def record_failure(self):
+        if self.state is BreakerState.HALF_OPEN:
+            self._trip()
+            return
+        self.failures += 1
+        if (
+            self.state is BreakerState.CLOSED
+            and self.failures >= self.threshold
+        ):
+            self._trip()
+
+
+op_strategy = st.one_of(
+    st.just(("success",)),
+    st.just(("failure",)),
+    st.just(("allow",)),
+    st.tuples(st.just("advance"), st.floats(0.0, 20.0, allow_nan=False)),
+)
+
+
+class TestBreakerProperties:
+    @given(
+        threshold=st.integers(1, 4),
+        recovery=st.floats(0.0, 10.0, allow_nan=False),
+        probes=st.integers(1, 3),
+        ops=st.lists(op_strategy, max_size=60),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_reference_model(self, threshold, recovery, probes, ops):
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(
+            failure_threshold=threshold,
+            recovery_time=recovery,
+            half_open_successes=probes,
+            clock=lambda: clock["now"],
+        )
+        model = ModelBreaker(threshold, recovery, probes)
+        for op in ops:
+            if op[0] == "advance":
+                clock["now"] += op[1]
+                model.now = clock["now"]
+            elif op[0] == "success":
+                breaker.record_success()
+                model.record_success()
+            elif op[0] == "failure":
+                breaker.record_failure()
+                model.record_failure()
+            else:
+                assert breaker.allow() == model.allow()
+            assert breaker.state == model.state
+            assert breaker.trips == model.trips
+
+    @given(ops=st.lists(op_strategy, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_invariants_hold_under_any_sequence(self, ops):
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(
+            failure_threshold=2,
+            recovery_time=5.0,
+            half_open_successes=1,
+            clock=lambda: clock["now"],
+        )
+        trips_seen = 0
+        for op in ops:
+            if op[0] == "advance":
+                clock["now"] += op[1]
+            elif op[0] == "success":
+                breaker.record_success()
+            elif op[0] == "failure":
+                breaker.record_failure()
+            else:
+                allowed = breaker.allow()
+                # A refusal can only come from an OPEN breaker.
+                if not allowed:
+                    assert breaker.state is BreakerState.OPEN
+            # Trip counter is monotone; state stays in the enum.
+            assert breaker.trips >= trips_seen
+            trips_seen = breaker.trips
+            assert breaker.state in BreakerState
+
+    def test_closed_until_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, recovery_time=99.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()  # resets the consecutive count
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 1
+
+    def test_half_open_probe_closes_or_reopens(self):
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_time=5.0,
+            clock=lambda: clock["now"],
+        )
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        clock["now"] = 6.0
+        assert breaker.allow()  # cooldown elapsed: one probe passes
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_failure()  # probe failed: reopen, cooldown restarts
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 2
+        clock["now"] = 12.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED

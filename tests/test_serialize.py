@@ -114,3 +114,56 @@ class TestErrors:
         payload["mitigations"] = ["wishful_thinking"]
         with pytest.raises(ReproError):
             diagnosis_from_dict(payload)
+
+
+class TestDegradedAndHealth:
+    def degraded_report(self):
+        from repro.ion.issues import ReportHealth
+
+        report = sample_report()
+        report.diagnoses[0].degraded = True
+        report.diagnoses[0].degraded_reason = "LLMTransientError: boom"
+        report.diagnoses[0].fallback_source = "drishti"
+        report.health = ReportHealth(
+            queries=3, attempts=5, retries=2, degraded=1, fallbacks=1,
+            breaker_state="open", breaker_trips=1,
+            notes=["query:small_io: LLMTransientError: boom"],
+        )
+        return report
+
+    def test_degraded_fields_round_trip(self):
+        back = report_from_dict(report_to_dict(self.degraded_report()))
+        first = back.diagnoses[0]
+        assert first.degraded
+        assert first.degraded_reason == "LLMTransientError: boom"
+        assert first.fallback_source == "drishti"
+        assert not back.diagnoses[1].degraded
+
+    def test_health_round_trips(self):
+        back = report_from_dict(report_to_dict(self.degraded_report()))
+        health = back.health
+        assert health is not None
+        assert (health.queries, health.attempts, health.retries) == (3, 5, 2)
+        assert health.breaker_state == "open"
+        assert health.breaker_trips == 1
+        assert health.notes == ["query:small_io: LLMTransientError: boom"]
+        assert not health.healthy
+
+    def test_version_one_payloads_still_readable(self):
+        # A v1 payload predates the degraded/health fields entirely.
+        payload = report_to_dict(sample_report())
+        payload["schema_version"] = 1
+        del payload["health"]
+        for diagnosis in payload["diagnoses"]:
+            del diagnosis["degraded"]
+            del diagnosis["degraded_reason"]
+            del diagnosis["fallback_source"]
+        back = report_from_dict(payload)
+        assert back.health is None
+        assert all(not d.degraded for d in back.diagnoses)
+
+    def test_malformed_health_rejected(self):
+        payload = report_to_dict(self.degraded_report())
+        payload["health"] = {"queries": "lots and lots"}
+        with pytest.raises(ReproError, match="health"):
+            report_from_dict(payload)
