@@ -20,4 +20,4 @@ test-all:
 	$(PYTEST) -q -m ""
 
 golden:
-	ION_REGEN_GOLDEN=1 $(PYTEST) -q tests/test_golden_report.py
+	ION_REGEN_GOLDEN=1 $(PYTEST) -q tests/test_golden_report.py tests/test_journey_golden.py

@@ -1,0 +1,84 @@
+"""Simulated performance snapshots and before/after deltas.
+
+The simulator prices every operation, so a trace carries an exact
+simulated wall-clock; combined with the byte totals of the POSIX and
+STDIO modules (MPI-IO transfers land in POSIX, as on a real system)
+this gives the journey its performance axis: runtime and aggregate
+bandwidth, compared before and after a remediation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.darshan.log import DarshanLog
+from repro.util.units import format_size
+
+#: Modules whose byte counters are summed for the snapshot.  MPI-IO is
+#: deliberately absent: its transfers are forwarded to the POSIX layer
+#: and would be double-counted.
+_BYTE_MODULES = ("POSIX", "STDIO")
+
+
+@dataclass(frozen=True)
+class PerfSnapshot:
+    """Simulated performance of one run."""
+
+    runtime_seconds: float
+    bytes_moved: int
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        """Bytes per simulated second over the whole job (0 if instant)."""
+        if self.runtime_seconds <= 0:
+            return 0.0
+        return self.bytes_moved / self.runtime_seconds
+
+    def render(self) -> str:
+        """``runtime 4.108 s, 16.00 MiB moved, 3.89 MiB/s aggregate``."""
+        return (
+            f"runtime {self.runtime_seconds:.3f} s, "
+            f"{format_size(self.bytes_moved)} moved, "
+            f"{format_size(self.aggregate_bandwidth)}/s aggregate"
+        )
+
+    @staticmethod
+    def from_log(log: DarshanLog) -> "PerfSnapshot":
+        """Snapshot a finished trace."""
+        moved = 0
+        for module in _BYTE_MODULES:
+            read, written = log.total_bytes(module)
+            moved += read + written
+        return PerfSnapshot(
+            runtime_seconds=log.job.run_time, bytes_moved=moved
+        )
+
+
+@dataclass(frozen=True)
+class PerfDelta:
+    """Before/after comparison of two snapshots."""
+
+    before: PerfSnapshot
+    after: PerfSnapshot
+
+    @property
+    def bandwidth_ratio(self) -> float:
+        """After/before aggregate bandwidth (1.0 when both are zero)."""
+        if self.before.aggregate_bandwidth <= 0:
+            return 1.0 if self.after.aggregate_bandwidth <= 0 else float("inf")
+        return self.after.aggregate_bandwidth / self.before.aggregate_bandwidth
+
+    @property
+    def runtime_ratio(self) -> float:
+        """After/before simulated runtime (1.0 when both are zero)."""
+        if self.before.runtime_seconds <= 0:
+            return 1.0 if self.after.runtime_seconds <= 0 else float("inf")
+        return self.after.runtime_seconds / self.before.runtime_seconds
+
+    def render(self) -> str:
+        """``bandwidth 3.89 MiB/s -> 1.45 GiB/s (381.84x)``."""
+        return (
+            f"bandwidth {format_size(self.before.aggregate_bandwidth)}/s -> "
+            f"{format_size(self.after.aggregate_bandwidth)}/s "
+            f"({self.bandwidth_ratio:.2f}x)"
+        )

@@ -1,0 +1,300 @@
+"""The remediation engine: diagnosed issue -> typed config fixes.
+
+Every remediation pairs a diagnosed :class:`IssueType` with a concrete
+change to the originating workload configuration and an *expected
+effect* — which issues the fix should clear and why, in cost-model
+terms.  Planning is pure: a planner inspects the workload's config and
+either proposes a change set or declines (knob absent, or the config
+already satisfies the remediation).  Whether the fix actually helps is
+decided later by the journey executor, which re-simulates and
+re-diagnoses the patched run — an expected effect is a hypothesis, not
+a verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.ion.issues import IssueType
+from repro.util.units import MIB
+from repro.workloads.base import Workload, config_knobs
+
+#: RPC cap assumed when a workload carries no filesystem config.
+_DEFAULT_RPC_SIZE = 4 * MIB
+
+
+@dataclass(frozen=True)
+class ExpectedEffect:
+    """The hypothesis a remediation encodes."""
+
+    #: Issues the fix should clear in the post-fix diagnosis.
+    clears: tuple[IssueType, ...]
+    #: Cost-model reasoning for why performance should improve.
+    rationale: str
+
+
+@dataclass(frozen=True)
+class Remediation:
+    """One registered fix for one diagnosed issue type."""
+
+    action: str
+    issue: IssueType
+    description: str
+    expected: ExpectedEffect
+
+
+@dataclass(frozen=True)
+class PlannedRemediation:
+    """A remediation instantiated against one concrete workload config."""
+
+    remediation: Remediation
+    #: Config knob -> new value; applied via the transform layer.
+    changes: dict[str, object]
+
+
+def _knobs(workload: Workload) -> dict[str, object]:
+    try:
+        return config_knobs(workload)
+    except Exception:  # noqa: BLE001 — non-dataclass configs plan nothing
+        return {}
+
+
+def _fs_attr(workload: Workload, name: str, default):
+    fs_config = getattr(workload, "fs_config", None)
+    return getattr(fs_config, name, default)
+
+
+def _round_up(value: int, multiple: int) -> int:
+    if multiple <= 0:
+        return value
+    return value if value % multiple == 0 else ((value // multiple) + 1) * multiple
+
+
+# -- planners ----------------------------------------------------------
+
+
+def _plan_coalesce(workload: Workload) -> dict[str, object] | None:
+    """Raise ``transfer_size`` to the (stripe-aligned) RPC cap."""
+    knobs = _knobs(workload)
+    transfer = knobs.get("transfer_size")
+    if not isinstance(transfer, int):
+        return None
+    target = _fs_attr(workload, "rpc_size", _DEFAULT_RPC_SIZE)
+    stripe = knobs.get("stripe_size")
+    if isinstance(stripe, int) and stripe > 0:
+        target = _round_up(target, stripe)
+    if transfer >= target:
+        return None
+    return {"transfer_size": target}
+
+
+def _plan_align(workload: Workload) -> dict[str, object] | None:
+    """Round ``transfer_size`` up to a stripe multiple; align buffers."""
+    knobs = _knobs(workload)
+    transfer = knobs.get("transfer_size")
+    stripe = knobs.get("stripe_size")
+    if not isinstance(transfer, int) or not isinstance(stripe, int):
+        return None
+    changes: dict[str, object] = {}
+    aligned = _round_up(transfer, stripe)
+    if aligned != transfer:
+        changes["transfer_size"] = aligned
+    if knobs.get("mem_aligned") is False:
+        changes["mem_aligned"] = True
+    return changes or None
+
+
+def _plan_file_per_process(workload: Workload) -> dict[str, object] | None:
+    """Give every rank its own file instead of one shared file."""
+    knobs = _knobs(workload)
+    if knobs.get("file_per_process") is not False:
+        return None
+    return {"file_per_process": True}
+
+
+def _plan_widen_striping(workload: Workload) -> dict[str, object] | None:
+    """Double the stripe count (bounded by the OST population)."""
+    knobs = _knobs(workload)
+    count = knobs.get("stripe_count")
+    if not isinstance(count, int) or count < 1:
+        return None
+    ceiling = _fs_attr(workload, "ost_count", count * 2)
+    target = min(count * 2, ceiling)
+    if target <= count:
+        return None
+    return {"stripe_count": target}
+
+
+def _plan_collective_mpiio(workload: Workload) -> dict[str, object] | None:
+    """Move POSIX multi-rank I/O onto collective MPI-IO."""
+    knobs = _knobs(workload)
+    if knobs.get("api") != "POSIX" or "collective" not in knobs:
+        return None
+    changes: dict[str, object] = {"api": "MPIIO", "collective": True}
+    if knobs.get("file_per_process") is True:
+        # Collective buffering needs the shared file back.
+        changes["file_per_process"] = False
+    return changes
+
+
+def _plan_enable_collective(workload: Workload) -> dict[str, object] | None:
+    """Turn independent MPI-IO into collective operations."""
+    knobs = _knobs(workload)
+    if knobs.get("api") != "MPIIO" or knobs.get("collective") is not False:
+        return None
+    return {"collective": True}
+
+
+# -- registry ----------------------------------------------------------
+
+_Planner = Callable[[Workload], "dict[str, object] | None"]
+
+_REGISTRY: list[tuple[Remediation, _Planner]] = [
+    (
+        Remediation(
+            action="coalesce-transfers",
+            issue=IssueType.SMALL_IO,
+            description=(
+                "Raise the transfer size to the client RPC cap so each "
+                "operation fills a full RPC."
+            ),
+            expected=ExpectedEffect(
+                clears=(IssueType.SMALL_IO,),
+                rationale=(
+                    "fewer, larger RPCs amortize per-RPC latency and let "
+                    "each request stream at OST bandwidth"
+                ),
+            ),
+        ),
+        _plan_coalesce,
+    ),
+    (
+        Remediation(
+            action="align-transfer-to-stripe",
+            issue=IssueType.MISALIGNED_IO,
+            description=(
+                "Round the transfer size up to a stripe multiple (and "
+                "align memory buffers) so no operation crosses a stripe "
+                "boundary."
+            ),
+            expected=ExpectedEffect(
+                clears=(IssueType.MISALIGNED_IO,),
+                rationale=(
+                    "stripe-aligned extents avoid boundary-stripe RPCs "
+                    "and the extra lock traffic they cause"
+                ),
+            ),
+        ),
+        _plan_align,
+    ),
+    (
+        Remediation(
+            action="file-per-process",
+            issue=IssueType.SHARED_FILE_CONTENTION,
+            description=(
+                "Switch from one shared file to file-per-process so ranks "
+                "never compete for the same extent locks."
+            ),
+            expected=ExpectedEffect(
+                clears=(IssueType.SHARED_FILE_CONTENTION,),
+                rationale=(
+                    "private files make every extent lock uncontended, "
+                    "removing OST lock-queue waits"
+                ),
+            ),
+        ),
+        _plan_file_per_process,
+    ),
+    (
+        Remediation(
+            action="widen-striping",
+            issue=IssueType.SHARED_FILE_CONTENTION,
+            description=(
+                "Double the stripe count so concurrent ranks land on "
+                "more OSTs."
+            ),
+            expected=ExpectedEffect(
+                clears=(IssueType.SHARED_FILE_CONTENTION,),
+                rationale=(
+                    "spreading the file over more OSTs divides both the "
+                    "bandwidth demand and the lock traffic per server"
+                ),
+            ),
+        ),
+        _plan_widen_striping,
+    ),
+    (
+        Remediation(
+            action="adopt-collective-mpiio",
+            issue=IssueType.NO_MPIIO,
+            description=(
+                "Replace raw POSIX multi-rank I/O with collective MPI-IO "
+                "on the shared file."
+            ),
+            expected=ExpectedEffect(
+                clears=(IssueType.NO_MPIIO, IssueType.NO_COLLECTIVE),
+                rationale=(
+                    "two-phase collective buffering merges rank "
+                    "contributions into large, aligned filesystem "
+                    "transfers issued by aggregators"
+                ),
+            ),
+        ),
+        _plan_collective_mpiio,
+    ),
+    (
+        Remediation(
+            action="enable-collective",
+            issue=IssueType.NO_COLLECTIVE,
+            description=(
+                "Turn independent MPI-IO operations into collective ones "
+                "so two-phase buffering can aggregate them."
+            ),
+            expected=ExpectedEffect(
+                clears=(IssueType.NO_COLLECTIVE,),
+                rationale=(
+                    "collective buffering coalesces interleaved rank "
+                    "pieces before they reach the filesystem"
+                ),
+            ),
+        ),
+        _plan_enable_collective,
+    ),
+]
+
+
+def remediations(issue: IssueType | None = None) -> list[Remediation]:
+    """Registered remediations, optionally filtered to one issue type."""
+    return [
+        remediation
+        for remediation, _ in _REGISTRY
+        if issue is None or remediation.issue == issue
+    ]
+
+
+def remediable_issues() -> set[IssueType]:
+    """Issue types with at least one registered remediation."""
+    return {remediation.issue for remediation, _ in _REGISTRY}
+
+
+def plan_remedies(
+    issue: IssueType, workload: Workload
+) -> list[PlannedRemediation]:
+    """Instantiate every applicable remediation of ``issue`` for a workload.
+
+    A remediation is omitted (not INAPPLICABLE — simply not proposed)
+    when the workload lacks the knob it would turn or already satisfies
+    it; proposals that *validate* badly are surfaced later, when the
+    transform layer applies them.
+    """
+    planned: list[PlannedRemediation] = []
+    for remediation, planner in _REGISTRY:
+        if remediation.issue != issue:
+            continue
+        changes = planner(workload)
+        if changes:
+            planned.append(
+                PlannedRemediation(remediation=remediation, changes=changes)
+            )
+    return planned

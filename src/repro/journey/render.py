@@ -1,0 +1,95 @@
+"""Text rendering of journey reports.
+
+The output is fully deterministic — no wall-clock, no paths — so it is
+snapshot-testable like the diagnosis report renderer it follows.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.journey.model import (
+    JourneyReport,
+    JourneyStatus,
+    JourneyStep,
+    RemediationAttempt,
+    Verdict,
+)
+
+_VERDICT_BADGE = {
+    Verdict.VERIFIED: "[VERIFIED]",
+    Verdict.NO_EFFECT: "[no-effect]",
+    Verdict.REGRESSED: "[REGRESSED]",
+    Verdict.INAPPLICABLE: "[inapplicable]",
+}
+
+_STATUS_LINE = {
+    JourneyStatus.CLEAN: "CLEAN — no detected issue remains",
+    JourneyStatus.STALLED: "STALLED — issues remain but no attempted fix verified",
+    JourneyStatus.BUDGET_EXHAUSTED: (
+        "BUDGET EXHAUSTED — issues remain after the allowed remediations"
+    ),
+    JourneyStatus.NO_REMEDIATION: (
+        "NO REMEDIATION — detected issues have no registered fix"
+    ),
+}
+
+
+def _render_attempt(attempt: RemediationAttempt, out: io.StringIO) -> None:
+    badge = _VERDICT_BADGE[attempt.verdict]
+    out.write(f"    {badge} {attempt.remediation.action}\n")
+    out.write(f"      {attempt.remediation.description}\n")
+    for change in attempt.changes:
+        out.write(f"      ~ {change.render()}\n")
+    out.write(f"      -> {attempt.reason}\n")
+    if attempt.perf_after is not None:
+        out.write(f"      after: {attempt.perf_after.render()}\n")
+    if attempt.cleared:
+        cleared = ", ".join(sorted(i.value for i in attempt.cleared))
+        out.write(f"      cleared: {cleared}\n")
+    if attempt.introduced:
+        introduced = ", ".join(sorted(i.value for i in attempt.introduced))
+        out.write(f"      introduced: {introduced}\n")
+    if attempt.degraded:
+        out.write("      (post-fix diagnosis ran degraded)\n")
+
+
+def _render_step(step: JourneyStep, out: io.StringIO) -> None:
+    detected = (
+        ", ".join(sorted(issue.value for issue in step.detected))
+        if step.detected
+        else "none"
+    )
+    degraded = " (diagnosis degraded)" if step.degraded else ""
+    out.write(f"Step {step.index}: detected {detected}{degraded}\n")
+    out.write(f"  perf: {step.perf.render()}\n")
+    for attempt in step.attempts:
+        _render_attempt(attempt, out)
+    if step.applied is not None:
+        out.write(f"  => applied {step.applied}\n")
+    out.write("\n")
+
+
+def render_journey(report: JourneyReport) -> str:
+    """Render a full journey report as terminal text."""
+    out = io.StringIO()
+    out.write("=" * 72 + "\n")
+    out.write(f"ION optimization journey — {report.trace_name}\n")
+    out.write("=" * 72 + "\n\n")
+    for step in report.steps:
+        _render_step(step, out)
+    out.write(f"Outcome: {_STATUS_LINE[report.status]}\n")
+    if report.applied_actions:
+        out.write(f"Applied: {' -> '.join(report.applied_actions)}\n")
+    if report.config_diff:
+        out.write("Configuration diff:\n")
+        for change in report.config_diff:
+            out.write(f"  ~ {change.render()}\n")
+    out.write(f"Initial: {report.initial_perf.render()}\n")
+    out.write(f"Final:   {report.final_perf.render()}\n")
+    out.write(f"Overall: {report.overall_delta.render()}\n")
+    remaining = report.remaining_issues
+    if remaining:
+        issues = ", ".join(sorted(issue.value for issue in remaining))
+        out.write(f"Remaining issues: {issues}\n")
+    return out.getvalue()

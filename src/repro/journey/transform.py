@@ -1,0 +1,27 @@
+"""Config transformers: apply a remediation as a pure old -> new diff.
+
+The actual machinery lives next to the workload framework
+(:mod:`repro.workloads.base`) because it is generic over every config
+dataclass; this module is the journey-facing surface.  A transform
+never mutates the input workload, and validation is exactly the
+workload's own ``__post_init__`` — a remediation that would produce an
+inconsistent configuration raises
+:class:`~repro.util.errors.WorkloadConfigError`, which the journey
+executor records as an INAPPLICABLE attempt.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import (
+    FieldChange,
+    apply_config_changes,
+    config_knobs,
+    describe_changes,
+)
+
+__all__ = [
+    "FieldChange",
+    "apply_config_changes",
+    "config_knobs",
+    "describe_changes",
+]

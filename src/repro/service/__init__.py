@@ -4,6 +4,8 @@ from repro.service.batch import (
     BatchConfig,
     BatchNavigator,
     CampaignSummary,
+    JourneyCampaignSummary,
+    JourneyOutcome,
     TraceOutcome,
 )
 from repro.service.cache import (
@@ -19,6 +21,8 @@ __all__ = [
     "CacheStats",
     "CampaignSummary",
     "ExtractionCache",
+    "JourneyCampaignSummary",
+    "JourneyOutcome",
     "TraceOutcome",
     "extraction_key",
     "log_digest",

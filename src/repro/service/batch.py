@@ -25,6 +25,7 @@ import traceback as traceback_module
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.darshan.binformat import read_log
 from repro.darshan.log import DarshanLog
@@ -37,6 +38,11 @@ from repro.service.cache import CacheStats, ExtractionCache
 from repro.util.errors import BatchError
 from repro.util.metrics import MetricsRegistry
 from repro.util.units import MIB
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.journey.executor import JourneyConfig
+    from repro.journey.model import JourneyReport
+    from repro.workloads.base import Workload
 
 
 @dataclass
@@ -179,6 +185,76 @@ class CampaignSummary:
         return "\n".join(lines)
 
 
+@dataclass
+class JourneyOutcome:
+    """What happened to one workload's optimization journey."""
+
+    index: int
+    name: str
+    report: "JourneyReport | None" = None
+    error: str | None = None
+    traceback: str | None = None
+    duration_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def status(self) -> str:
+        """Journey status value, or ``"failed"`` for errored journeys."""
+        if self.report is None:
+            return "failed"
+        return self.report.status.value
+
+    @property
+    def applied_count(self) -> int:
+        if self.report is None:
+            return 0
+        return len(self.report.applied_actions)
+
+
+@dataclass
+class JourneyCampaignSummary:
+    """Aggregate result of one :meth:`BatchNavigator.run_journeys` call."""
+
+    outcomes: list[JourneyOutcome]
+    elapsed_seconds: float
+    metrics: dict[str, float] = field(default_factory=dict)
+    breaker_state: str = "closed"
+
+    @property
+    def succeeded(self) -> list[JourneyOutcome]:
+        return [o for o in self.outcomes if o.ok]
+
+    @property
+    def failed(self) -> list[JourneyOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def render(self) -> str:
+        """One-line-per-workload campaign table plus totals."""
+        lines = []
+        width = max([len(o.name) for o in self.outcomes] + [5])
+        for outcome in self.outcomes:
+            if outcome.ok and outcome.report is not None:
+                ratio = outcome.report.overall_delta.bandwidth_ratio
+                status = (
+                    f"{outcome.status}  "
+                    f"{outcome.applied_count} applied  {ratio:.2f}x bandwidth"
+                )
+            else:
+                status = f"FAILED: {outcome.error}"
+            lines.append(
+                f"  {outcome.name:<{width}}  "
+                f"{outcome.duration_seconds:7.3f}s  {status}"
+            )
+        lines.append(
+            f"{len(self.succeeded)}/{len(self.outcomes)} journeys finished "
+            f"in {self.elapsed_seconds:.3f}s"
+        )
+        return "\n".join(lines)
+
+
 class BatchNavigator:
     """Bounded-concurrency diagnosis over many traces.
 
@@ -269,6 +345,83 @@ class BatchNavigator:
     def run_files(self, paths) -> CampaignSummary:
         """Convenience wrapper over :meth:`run` for on-disk logs."""
         return self.run(list(paths))
+
+    def run_journeys(
+        self,
+        workloads,
+        journey_config: "JourneyConfig | None" = None,
+    ) -> JourneyCampaignSummary:
+        """Drive an optimization journey over every workload.
+
+        ``workloads`` is an iterable of registry names or
+        :class:`~repro.workloads.base.Workload` instances.  Journeys
+        share the campaign's LLM client, metrics and circuit breaker —
+        a dead backend trips once for the whole fleet, and every
+        journey continues on Drishti-heuristic recommendations.
+        """
+        # Imported lazily: repro.journey imports the workload layer,
+        # which the service layer must not pull in at import time.
+        from repro.journey.executor import JourneyConfig as _JourneyConfig
+        from repro.workloads.registry import make_workload
+
+        config = journey_config or _JourneyConfig()
+        jobs: list[tuple[int, str, "Workload"]] = []
+        for index, item in enumerate(workloads):
+            workload = make_workload(item) if isinstance(item, str) else item
+            jobs.append(
+                (index, getattr(workload, "name", f"workload-{index}"), workload)
+            )
+        if not jobs:
+            raise BatchError("journey campaign received no workloads")
+        started = time.perf_counter()
+        with ThreadPoolExecutor(
+            max_workers=self.config.max_workers,
+            thread_name_prefix="ion-journey",
+        ) as pool:
+            outcomes = list(
+                pool.map(lambda job: self._run_one_journey(job, config), jobs)
+            )
+        elapsed = time.perf_counter() - started
+        self.metrics.counter("batch.journey_campaigns").inc()
+        if self.config.fail_fast:
+            for outcome in outcomes:
+                if not outcome.ok:
+                    raise BatchError(
+                        f"journey {outcome.name!r} failed: {outcome.error}"
+                    )
+        return JourneyCampaignSummary(
+            outcomes=outcomes,
+            elapsed_seconds=elapsed,
+            metrics=self.metrics.snapshot(),
+            breaker_state=self.breaker.state.value,
+        )
+
+    def _run_one_journey(
+        self, job: tuple[int, str, "Workload"], config: "JourneyConfig"
+    ) -> JourneyOutcome:
+        from repro.journey.executor import JourneyNavigator
+
+        index, name, workload = job
+        outcome = JourneyOutcome(index=index, name=name)
+        started = time.perf_counter()
+        try:
+            with JourneyNavigator(
+                client=self.client,
+                analyzer_config=self.config.analyzer,
+                journey_config=config,
+                metrics=self.metrics,
+                interpreter_factory=self.interpreter_factory,
+                breaker=self.breaker,
+                rpc_size=self.config.rpc_size,
+            ) as navigator:
+                outcome.report = navigator.navigate(workload)
+            self.metrics.counter("batch.journeys.ok").inc()
+        except Exception as exc:  # noqa: BLE001 — isolate per-journey faults
+            outcome.error = f"{type(exc).__name__}: {exc}"
+            outcome.traceback = traceback_module.format_exc()
+            self.metrics.counter("batch.journeys.failed").inc()
+        outcome.duration_seconds = time.perf_counter() - started
+        return outcome
 
     # -- workers ------------------------------------------------------
 

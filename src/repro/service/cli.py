@@ -96,6 +96,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="abort the campaign on the first per-trace failure",
     )
     parser.add_argument(
+        "--journey",
+        action="store_true",
+        help="run the full optimization journey (recommend -> apply -> "
+        "verify) over each --workload instead of a one-shot diagnosis",
+    )
+    parser.add_argument(
+        "--journey-steps",
+        type=int,
+        default=3,
+        metavar="N",
+        help="remediation budget per journey (default: 3; with --journey)",
+    )
+    parser.add_argument(
         "--max-attempts", type=int, default=None, metavar="N",
         help="retry budget per LLM query (default: 3)",
     )
@@ -131,6 +144,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("no traces given (pass log paths and/or --workload)")
     if args.cache_size is not None and args.cache_dir is None:
         parser.error("--cache-size requires --cache-dir")
+    if args.journey and args.traces:
+        parser.error("--journey drives --workload entries, not trace paths")
+    if args.journey and not args.workload:
+        parser.error("--journey requires at least one --workload")
     try:
         from repro.ion.cli import fault_injection_from_args, resilience_from_args
         from repro.llm.expert.model import SimulatedExpertLLM
@@ -148,14 +165,23 @@ def main(argv: list[str] | None = None) -> int:
             fail_fast=args.fail_fast,
         )
         wrap_client, interpreter_factory = fault_injection_from_args(args)
-        traces = _gather_traces(args)
         with BatchNavigator(
             client=wrap_client(SimulatedExpertLLM()),
             config=config,
             cache=cache,
             interpreter_factory=interpreter_factory,
         ) as navigator:
-            summary = navigator.run(traces)
+            if args.journey:
+                from repro.journey.executor import JourneyConfig
+
+                summary = navigator.run_journeys(
+                    list(args.workload),
+                    journey_config=JourneyConfig(
+                        max_steps=args.journey_steps, scale=args.scale
+                    ),
+                )
+                return _emit_journeys(args, summary)
+            summary = navigator.run(_gather_traces(args))
     except (ReproError, OSError, ValueError) as exc:
         print(f"ion-batch: error: {exc}", file=sys.stderr)
         return 1
@@ -190,6 +216,41 @@ def main(argv: list[str] | None = None) -> int:
                     "issue_count": o.issue_count,
                     "degraded_count": o.degraded_count,
                     "report": report_to_dict(o.report) if o.report else None,
+                }
+                for o in summary.outcomes
+            ],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"JSON summary written to {args.json}")
+    return 0 if not summary.failed else 1
+
+
+def _emit_journeys(args: argparse.Namespace, summary) -> int:
+    from repro.journey.render import render_journey
+    from repro.journey.serialize import journey_to_dict
+
+    if args.reports:
+        for outcome in summary.succeeded:
+            print(render_journey(outcome.report))
+            print()
+    print("--- Journey campaign summary ---")
+    print(summary.render())
+    if args.json:
+        payload = {
+            "elapsed_seconds": summary.elapsed_seconds,
+            "metrics": summary.metrics,
+            "breaker_state": summary.breaker_state,
+            "journeys": [
+                {
+                    "name": o.name,
+                    "ok": o.ok,
+                    "status": o.status,
+                    "error": o.error,
+                    "traceback": o.traceback,
+                    "duration_seconds": o.duration_seconds,
+                    "applied_count": o.applied_count,
+                    "report": journey_to_dict(o.report) if o.report else None,
                 }
                 for o in summary.outcomes
             ],

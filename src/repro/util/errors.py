@@ -75,3 +75,7 @@ class BatchError(ReproError):
 
 class AnalysisError(ReproError):
     """The ION analyzer failed to produce a diagnosis."""
+
+
+class JourneyError(ReproError):
+    """An optimization journey was configured or driven incorrectly."""

@@ -1,6 +1,15 @@
 """Workload suite: IO500-style benchmarks and real-application replays."""
 
-from repro.workloads.base import GroundTruth, TraceBundle, Workload, scaled
+from repro.workloads.base import (
+    FieldChange,
+    GroundTruth,
+    TraceBundle,
+    Workload,
+    apply_config_changes,
+    config_knobs,
+    describe_changes,
+    scaled,
+)
 from repro.workloads.e2e import E2eBaseline, E2eConfig, E2eOptimized
 from repro.workloads.ior import IOR_HARD_TRANSFER, IorConfig, IorWorkload
 from repro.workloads.mdworkbench import MdWorkbenchConfig, MdWorkbenchWorkload
@@ -10,7 +19,10 @@ from repro.workloads.registry import (
     EXTRA_WORKLOADS,
     FIGURE2_WORKLOADS,
     FIGURE3_WORKLOADS,
+    WorkloadInfo,
     make_workload,
+    workload_info,
+    workload_knobs,
     workload_names,
 )
 
@@ -21,6 +33,7 @@ __all__ = [
     "EXTRA_WORKLOADS",
     "FIGURE2_WORKLOADS",
     "FIGURE3_WORKLOADS",
+    "FieldChange",
     "GroundTruth",
     "IOR_HARD_TRANSFER",
     "IorConfig",
@@ -34,7 +47,13 @@ __all__ = [
     "StdioLoggerWorkload",
     "TraceBundle",
     "Workload",
+    "WorkloadInfo",
+    "apply_config_changes",
+    "config_knobs",
+    "describe_changes",
     "make_workload",
     "scaled",
+    "workload_info",
+    "workload_knobs",
     "workload_names",
 ]

@@ -9,8 +9,9 @@ ground-truth issues" methodology.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import Callable, Mapping, Protocol
 
 from repro.darshan.log import DarshanLog
 from repro.ion.issues import IssueType, MitigationNote
@@ -72,3 +73,88 @@ def scaled(count: int, scale: float, minimum: int = 1) -> int:
 
 
 WorkloadFactory = Callable[..., Workload]
+
+
+@dataclass(frozen=True)
+class FieldChange:
+    """One config knob changed by a transform: the old -> new diff."""
+
+    field: str
+    old: object
+    new: object
+
+    def render(self) -> str:
+        """Human-readable ``knob: old -> new`` line."""
+        return f"{self.field}: {self.old!r} -> {self.new!r}"
+
+
+def config_knobs(workload: Workload) -> dict[str, object]:
+    """The tunable config fields of a workload, name -> current value.
+
+    Every workload carries a dataclass ``config``; its fields are the
+    knobs transforms (and ``iogen --set``) may touch.  Values are read
+    *after* ``__post_init__`` normalization, so sizes appear in bytes.
+    """
+    config = getattr(workload, "config", None)
+    if config is None or not dataclasses.is_dataclass(config):
+        raise WorkloadConfigError(
+            f"workload {getattr(workload, 'name', workload)!r} has no "
+            "tunable config dataclass"
+        )
+    return {
+        spec.name: getattr(config, spec.name)
+        for spec in dataclasses.fields(config)
+    }
+
+
+def describe_changes(
+    workload: Workload, changes: Mapping[str, object]
+) -> list[FieldChange]:
+    """The old -> new diff a change set *would* make, without validation.
+
+    Used to report what an inapplicable transform proposed; the values
+    are taken verbatim, so a rejected change is shown exactly as asked.
+    """
+    knobs = config_knobs(workload)
+    return [
+        FieldChange(field=name, old=knobs.get(name), new=value)
+        for name, value in sorted(changes.items())
+    ]
+
+
+def apply_config_changes(
+    workload: Workload, changes: Mapping[str, object]
+) -> tuple[Workload, list[FieldChange]]:
+    """Apply a pure config diff, returning the patched workload + diff.
+
+    The original workload is never mutated: the config dataclass is
+    rebuilt via :func:`dataclasses.replace`, which re-runs its
+    ``__post_init__`` validation — an invalid combination (e.g.
+    ``file_per_process`` on an IOR ``hard`` run) raises
+    :class:`WorkloadConfigError` exactly as it would at construction.
+    Unknown knobs are rejected before validation runs.
+    """
+    knobs = config_knobs(workload)
+    unknown = sorted(set(changes) - set(knobs))
+    if unknown:
+        raise WorkloadConfigError(
+            f"unknown config knob(s) {', '.join(unknown)} for workload "
+            f"{getattr(workload, 'name', workload)!r}; "
+            f"known: {', '.join(sorted(knobs))}"
+        )
+    if not dataclasses.is_dataclass(workload):
+        raise WorkloadConfigError(
+            f"workload {getattr(workload, 'name', workload)!r} is not a "
+            "dataclass and cannot be transformed"
+        )
+    config = workload.config  # type: ignore[attr-defined]
+    new_config = dataclasses.replace(config, **dict(changes))
+    diff = [
+        FieldChange(
+            field=name,
+            old=getattr(config, name),
+            new=getattr(new_config, name),
+        )
+        for name in sorted(changes)
+    ]
+    return dataclasses.replace(workload, config=new_config), diff

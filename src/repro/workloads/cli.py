@@ -6,6 +6,7 @@ makes them available outside the Python API so the ``ion`` and
 
     iogen --list
     iogen ior-hard /tmp/hard.darshan --scale 0.05
+    iogen ior-easy-2k-shared /tmp/fixed.darshan --set transfer_size=1MiB
     ion /tmp/hard.darshan
 """
 
@@ -14,11 +15,17 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import textwrap
 
 from repro.darshan.binformat import write_log
 from repro.util.console import suppress_broken_pipe
-from repro.util.errors import ReproError
-from repro.workloads.registry import make_workload, workload_names
+from repro.util.errors import ReproError, WorkloadConfigError
+from repro.workloads.registry import (
+    make_workload,
+    workload_info,
+    workload_knobs,
+    workload_names,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,7 +43,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="operation-count scale factor (default 1.0 = paper scale)",
     )
     parser.add_argument(
-        "--list", action="store_true", help="list registered workloads"
+        "--set", dest="overrides", action="append", default=[],
+        metavar="KEY=VALUE",
+        help="override a config knob (repeatable; sizes like 1MiB accepted; "
+        "see --list for each workload's knobs)",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list registered workloads with their tunable config knobs",
     )
     parser.add_argument(
         "--truth", action="store_true",
@@ -45,18 +59,55 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _render_list() -> str:
+    """One block per workload: name, wrapped description, knob defaults."""
+    lines: list[str] = []
+    for name in workload_names():
+        info = workload_info(name)
+        lines.append(name)
+        lines.extend(
+            textwrap.wrap(
+                info.description, width=72,
+                initial_indent="  ", subsequent_indent="  ",
+            )
+        )
+        knobs = ", ".join(
+            f"{key}={value!r}" for key, value in workload_knobs(name).items()
+        )
+        lines.extend(
+            textwrap.wrap(
+                f"knobs: {knobs}", width=72,
+                initial_indent="  ", subsequent_indent="    ",
+            )
+        )
+    return "\n".join(lines)
+
+
+def _parse_overrides(pairs: list[str]) -> dict[str, str]:
+    overrides: dict[str, str] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise WorkloadConfigError(
+                f"--set expects KEY=VALUE, got {pair!r}"
+            )
+        overrides[key.strip()] = value
+    return overrides
+
+
 @suppress_broken_pipe
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list:
-        for name in workload_names():
-            print(name)
+        print(_render_list())
         return 0
     if not args.workload or not args.output:
         parser.error("workload and output are required (or use --list)")
     try:
-        bundle = make_workload(args.workload).run(scale=args.scale)
+        overrides = _parse_overrides(args.overrides)
+        workload = make_workload(args.workload, overrides=overrides)
+        bundle = workload.run(scale=args.scale)
         path = write_log(bundle.log, args.output)
     except (ReproError, OSError) as exc:
         print(f"iogen: error: {exc}", file=sys.stderr)

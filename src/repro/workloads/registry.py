@@ -3,15 +3,19 @@
 ``FIGURE2_WORKLOADS`` are the six IO500-derived controlled traces of
 Figure 2; ``FIGURE3_WORKLOADS`` are the four real-application replays
 of Figure 3.  :func:`make_workload` builds a fresh workload instance by
-name, with the paper's parameters baked in.
+name, with the paper's parameters baked in; callers (``iogen --set``,
+the journey executor) may override individual config knobs, with value
+coercion and the workload's own validation applied.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
-from repro.util.units import KIB, MIB
-from repro.workloads.base import Workload
+from repro.util.errors import WorkloadConfigError
+from repro.util.units import KIB, MIB, parse_size
+from repro.workloads.base import Workload, apply_config_changes, config_knobs
 from repro.workloads.e2e import E2eBaseline, E2eOptimized
 from repro.workloads.ior import IOR_HARD_TRANSFER, IorConfig, IorWorkload
 from repro.workloads.mdworkbench import MdWorkbenchConfig, MdWorkbenchWorkload
@@ -92,19 +96,91 @@ def _ior_easy_mixed() -> Workload:
     )
 
 
-_FACTORIES: dict[str, Callable[[], Workload]] = {
-    "ior-easy-2k-shared": _ior_easy_2k_shared,
-    "ior-easy-1m-shared": _ior_easy_1m_shared,
-    "ior-easy-1m-fpp": _ior_easy_1m_fpp,
-    "ior-hard": _ior_hard,
-    "ior-rnd4k": _ior_rnd4k,
-    "md-workbench": _md_workbench,
-    "ior-easy-mixed": _ior_easy_mixed,
-    "stdio-logger": StdioLoggerWorkload,
-    "openpmd-baseline": OpenPmdBaseline,
-    "openpmd-optimized": OpenPmdOptimized,
-    "e2e-baseline": E2eBaseline,
-    "e2e-optimized": E2eOptimized,
+@dataclass(frozen=True)
+class WorkloadInfo:
+    """One registry entry: name, what it models, and its factory."""
+
+    name: str
+    description: str
+    factory: Callable[[], Workload]
+
+
+_REGISTRY: dict[str, WorkloadInfo] = {
+    info.name: info
+    for info in (
+        WorkloadInfo(
+            "ior-easy-2k-shared",
+            "IOR easy with tiny 2 KiB transfers into one shared file: "
+            "small, misaligned POSIX I/O from every rank.",
+            _ior_easy_2k_shared,
+        ),
+        WorkloadInfo(
+            "ior-easy-1m-shared",
+            "IOR easy with 1 MiB transfers into one shared file: "
+            "well-formed bulk I/O, still POSIX-only.",
+            _ior_easy_1m_shared,
+        ),
+        WorkloadInfo(
+            "ior-easy-1m-fpp",
+            "IOR easy with 1 MiB transfers, file-per-process: the "
+            "contention-free variant of the shared run.",
+            _ior_easy_1m_fpp,
+        ),
+        WorkloadInfo(
+            "ior-hard",
+            "IOR hard: interleaved 47008-byte records from all ranks "
+            "into one shared file — small, misaligned, contended.",
+            _ior_hard,
+        ),
+        WorkloadInfo(
+            "ior-rnd4k",
+            "IOR random: 4 KiB transfers at shuffled offsets — the "
+            "random-access pathology.",
+            _ior_rnd4k,
+        ),
+        WorkloadInfo(
+            "md-workbench",
+            "md-workbench replay: metadata-heavy create/stat/delete "
+            "churn over many small files.",
+            _md_workbench,
+        ),
+        WorkloadInfo(
+            "ior-easy-mixed",
+            "IOR easy with 2 MiB bulk transfers plus a 64 KiB "
+            "bookkeeping record every 4th op (25% small ratio).",
+            _ior_easy_mixed,
+        ),
+        WorkloadInfo(
+            "stdio-logger",
+            "Rank-0 STDIO logger: one rank appends log lines while "
+            "others compute — rank-0 bottleneck material.",
+            StdioLoggerWorkload,
+        ),
+        WorkloadInfo(
+            "openpmd-baseline",
+            "openPMD particle dump replay, naive settings: per-rank "
+            "small writes without collective buffering.",
+            OpenPmdBaseline,
+        ),
+        WorkloadInfo(
+            "openpmd-optimized",
+            "openPMD particle dump replay after tuning: collective "
+            "MPI-IO with aggregated large writes.",
+            OpenPmdOptimized,
+        ),
+        WorkloadInfo(
+            "e2e-baseline",
+            "End-to-end application replay, untuned: mixed small I/O, "
+            "shared-file contention and metadata churn.",
+            E2eBaseline,
+        ),
+        WorkloadInfo(
+            "e2e-optimized",
+            "End-to-end application replay after the paper's "
+            "optimization journey: the cleaned-up counterpart.",
+            E2eOptimized,
+        ),
+    )
 }
 
 FIGURE2_WORKLOADS: tuple[str, ...] = (
@@ -129,14 +205,83 @@ EXTRA_WORKLOADS: tuple[str, ...] = ("ior-easy-mixed", "stdio-logger")
 
 def workload_names() -> list[str]:
     """Every registered workload name."""
-    return list(_FACTORIES)
+    return list(_REGISTRY)
 
 
-def make_workload(name: str) -> Workload:
-    """Build a fresh workload instance by registry name."""
+def workload_info(name: str) -> WorkloadInfo:
+    """The registry entry for one workload name."""
     try:
-        factory = _FACTORIES[name]
+        return _REGISTRY[name]
     except KeyError:
-        known = ", ".join(sorted(_FACTORIES))
+        known = ", ".join(sorted(_REGISTRY))
         raise KeyError(f"unknown workload {name!r}; known: {known}") from None
-    return factory()
+
+
+def workload_knobs(name: str) -> dict[str, object]:
+    """The tunable config knobs of a workload, name -> default value."""
+    return config_knobs(workload_info(name).factory())
+
+
+def _coerce_override(name: str, current: object, raw: object):
+    """Coerce a raw (usually string) override to the knob's type.
+
+    Booleans are checked before ints — ``bool`` is an ``int`` subclass.
+    Integer knobs accept size suffixes (``4MiB``) via :func:`parse_size`.
+    """
+    if not isinstance(raw, str):
+        return raw
+    if isinstance(current, bool):
+        lowered = raw.strip().lower()
+        if lowered in ("1", "true", "yes", "on"):
+            return True
+        if lowered in ("0", "false", "no", "off"):
+            return False
+        raise WorkloadConfigError(
+            f"{name}: expected a boolean, got {raw!r}"
+        )
+    if isinstance(current, int):
+        try:
+            return int(raw)
+        except ValueError:
+            pass
+        try:
+            return parse_size(raw)
+        except ValueError as exc:
+            raise WorkloadConfigError(
+                f"{name}: expected an integer or size, got {raw!r}"
+            ) from exc
+    if isinstance(current, float):
+        try:
+            return float(raw)
+        except ValueError as exc:
+            raise WorkloadConfigError(
+                f"{name}: expected a number, got {raw!r}"
+            ) from exc
+    return raw
+
+
+def make_workload(
+    name: str, overrides: dict[str, object] | None = None
+) -> Workload:
+    """Build a fresh workload instance by registry name.
+
+    ``overrides`` patches individual config knobs (``iogen --set``);
+    string values are coerced to the knob's type and the patched config
+    passes through the workload's own validation.
+    """
+    workload = workload_info(name).factory()
+    if not overrides:
+        return workload
+    knobs = config_knobs(workload)
+    unknown = sorted(set(overrides) - set(knobs))
+    if unknown:
+        raise WorkloadConfigError(
+            f"unknown config knob(s) {', '.join(unknown)} for workload "
+            f"{name!r}; known: {', '.join(sorted(knobs))}"
+        )
+    coerced = {
+        key: _coerce_override(key, knobs[key], value)
+        for key, value in overrides.items()
+    }
+    patched, _ = apply_config_changes(workload, coerced)
+    return patched

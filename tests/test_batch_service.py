@@ -271,3 +271,64 @@ class TestScratchHygiene:
         navigator.run(make_fleet(1))
         navigator.close()
         assert cache.stats.entries == 1
+
+
+class TestBatchJourneys:
+    def test_journey_campaign_over_workload_names(self):
+        from repro.journey.executor import JourneyConfig
+
+        with BatchNavigator(config=BatchConfig(max_workers=2)) as navigator:
+            summary = navigator.run_journeys(
+                ["ior-easy-2k-shared", "ior-easy-1m-shared"],
+                journey_config=JourneyConfig(scale=0.05, max_steps=1),
+            )
+        assert len(summary.succeeded) == 2
+        by_name = {o.name: o for o in summary.outcomes}
+        easy_2k = by_name["ior-easy-2k-shared"].report
+        assert "align-transfer-to-stripe" in easy_2k.applied_actions
+        assert easy_2k.overall_delta.bandwidth_ratio > 1.02
+        rendered = summary.render()
+        assert "2/2 journeys finished" in rendered
+        assert "applied" in rendered
+
+    def test_journey_campaign_accepts_workload_instances(self):
+        from repro.journey.executor import JourneyConfig
+        from repro.workloads import make_workload
+
+        workload = make_workload(
+            "ior-easy-1m-fpp", overrides={"nprocs": "1"}
+        )
+        with BatchNavigator() as navigator:
+            summary = navigator.run_journeys(
+                [workload], journey_config=JourneyConfig(scale=0.05)
+            )
+        (outcome,) = summary.outcomes
+        assert outcome.ok
+        assert outcome.status == "clean"
+        assert outcome.applied_count == 0
+
+    def test_journey_failure_is_isolated(self):
+        from repro.journey.executor import JourneyConfig
+
+        class ExplodingWorkload:
+            name = "exploding"
+
+            def run(self, scale: float = 1.0):
+                raise RuntimeError("boom")
+
+        with BatchNavigator(config=BatchConfig(max_workers=2)) as navigator:
+            summary = navigator.run_journeys(
+                [ExplodingWorkload(), "ior-easy-1m-shared"],
+                journey_config=JourneyConfig(scale=0.05, max_steps=1),
+            )
+        assert len(summary.failed) == 1
+        assert len(summary.succeeded) == 1
+        failed = summary.failed[0]
+        assert failed.status == "failed"
+        assert "boom" in failed.error
+        assert "RuntimeError" in failed.traceback
+
+    def test_empty_journey_campaign_rejected(self):
+        with BatchNavigator() as navigator:
+            with pytest.raises(BatchError, match="no workloads"):
+                navigator.run_journeys([])

@@ -12,8 +12,61 @@ from repro.workloads.registry import workload_names
 class TestIogen:
     def test_list(self, capsys):
         assert iogen_cli.main(["--list"]) == 0
-        out = capsys.readouterr().out.strip().splitlines()
-        assert out == workload_names()
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        # Every workload name leads a block at column zero...
+        unindented = [line for line in lines if not line.startswith(" ")]
+        assert unindented == workload_names()
+        # ...followed by an indented description and its config knobs.
+        assert "knobs:" in out
+        assert "transfer_size=2048" in out
+        assert "IOR easy with tiny 2 KiB transfers" in out
+
+    def test_set_overrides_knob(self, tmp_path, capsys):
+        target = tmp_path / "trace.darshan"
+        assert iogen_cli.main(
+            [
+                "ior-easy-2k-shared", str(target),
+                "--scale", "0.05", "--set", "transfer_size=1MiB",
+            ]
+        ) == 0
+        capsys.readouterr()
+        log = read_log(target)
+        record = log.records_for("POSIX")[0]
+        # 1 MiB transfers land in the 1M..4M size bucket; the seeded
+        # 2 KiB default would land in 1K..10K instead.
+        assert record.counters["POSIX_SIZE_WRITE_1M_4M"] > 0
+        assert record.counters["POSIX_SIZE_WRITE_1K_10K"] == 0
+
+    def test_set_unknown_knob_is_friendly_error(self, tmp_path, capsys):
+        target = tmp_path / "trace.darshan"
+        assert iogen_cli.main(
+            ["ior-easy-2k-shared", str(target), "--set", "bogus=1"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "iogen: error:" in err
+        assert "unknown config knob" in err
+        assert "Traceback" not in err
+
+    def test_set_invalid_combination_is_friendly_error(self, tmp_path, capsys):
+        # hard mode forbids file-per-process; the workload's own
+        # validation must surface as a one-line error, not a traceback.
+        target = tmp_path / "trace.darshan"
+        assert iogen_cli.main(
+            ["ior-hard", str(target), "--set", "file_per_process=true"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "iogen: error:" in err
+        assert "Traceback" not in err
+
+    def test_set_malformed_pair_is_friendly_error(self, tmp_path, capsys):
+        target = tmp_path / "trace.darshan"
+        assert iogen_cli.main(
+            ["ior-easy-2k-shared", str(target), "--set", "transfer_size"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "KEY=VALUE" in err
+        assert "Traceback" not in err
 
     def test_generate(self, tmp_path, capsys):
         target = tmp_path / "trace.darshan"

@@ -5,11 +5,14 @@ from __future__ import annotations
 import pytest
 
 from repro.darshan.validate import validate_log
+from repro.util.errors import WorkloadConfigError
 from repro.workloads.registry import (
     EXTRA_WORKLOADS,
     FIGURE2_WORKLOADS,
     FIGURE3_WORKLOADS,
     make_workload,
+    workload_info,
+    workload_knobs,
     workload_names,
 )
 
@@ -50,3 +53,62 @@ class TestRegistry:
         validate_log(bundle.log)
         assert bundle.truth.issues or bundle.truth.mitigations
         assert bundle.log.records_for("POSIX")
+
+
+class TestWorkloadInfo:
+    @pytest.mark.parametrize("name", workload_names())
+    def test_every_workload_has_description_and_knobs(self, name):
+        info = workload_info(name)
+        assert info.name == name
+        assert len(info.description) > 20
+        knobs = workload_knobs(name)
+        assert knobs  # every workload exposes a tunable config
+
+    def test_unknown_info_rejected(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            workload_info("does-not-exist")
+
+
+class TestOverrides:
+    def test_override_patches_config(self):
+        workload = make_workload(
+            "ior-easy-2k-shared", overrides={"transfer_size": 2**20}
+        )
+        assert workload.config.transfer_size == 2**20
+
+    def test_string_size_coerced(self):
+        workload = make_workload(
+            "ior-easy-2k-shared", overrides={"transfer_size": "1MiB"}
+        )
+        assert workload.config.transfer_size == 2**20
+
+    @pytest.mark.parametrize(
+        ("raw", "expected"), [("true", True), ("0", False), ("YES", True)]
+    )
+    def test_string_bool_coerced(self, raw, expected):
+        workload = make_workload(
+            "ior-easy-2k-shared", overrides={"file_per_process": raw}
+        )
+        assert workload.config.file_per_process is expected
+
+    def test_bad_bool_rejected(self):
+        with pytest.raises(WorkloadConfigError, match="boolean"):
+            make_workload(
+                "ior-easy-2k-shared", overrides={"file_per_process": "maybe"}
+            )
+
+    def test_bad_int_rejected(self):
+        with pytest.raises(WorkloadConfigError, match="integer or size"):
+            make_workload(
+                "ior-easy-2k-shared", overrides={"segments": "many"}
+            )
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(WorkloadConfigError, match="unknown config knob"):
+            make_workload("ior-easy-2k-shared", overrides={"bogus": "1"})
+
+    def test_invalid_combination_rejected(self):
+        # hard mode requires a shared file; the workload's own
+        # validation runs on the patched config.
+        with pytest.raises(WorkloadConfigError, match="shared file"):
+            make_workload("ior-hard", overrides={"file_per_process": "true"})

@@ -98,6 +98,47 @@ class TestFormatSize:
         assert any(text.endswith(suffix) for suffix in ("B", "KiB", "MiB", "GiB", "TiB"))
 
 
+class TestRoundTrip:
+    @given(st.integers(min_value=0, max_value=2**48))
+    def test_parse_of_format_round_trips_within_tolerance(self, value):
+        # format_size keeps two decimals, so the round trip is lossy by
+        # at most half a least-significant digit: 0.005 of the suffix
+        # scale, i.e. a 0.5% relative error plus one byte of rounding.
+        recovered = parse_size(format_size(value))
+        assert abs(recovered - value) <= max(1, int(value * 0.005) + 1)
+
+    @given(st.integers(min_value=0, max_value=2**48))
+    def test_round_trip_is_idempotent(self, value):
+        # One lossy round trip reaches a fixed point: formatting the
+        # recovered value parses back to itself exactly.
+        recovered = parse_size(format_size(value))
+        assert parse_size(format_size(recovered)) == recovered
+
+    @given(st.integers(max_value=-1))
+    def test_negative_integers_always_rejected(self, value):
+        with pytest.raises(ValueError):
+            parse_size(value)
+        with pytest.raises(ValueError):
+            format_size(value)
+
+    @given(
+        st.text(
+            alphabet=st.characters(
+                blacklist_categories=("Nd",), blacklist_characters="."
+            ),
+            min_size=1,
+        ).filter(lambda s: s.strip())
+    )
+    def test_digitless_garbage_always_rejected(self, text):
+        with pytest.raises(ValueError):
+            parse_size(text)
+
+    @given(st.integers(min_value=0, max_value=2**40), st.sampled_from(["q", "zz", "xb"]))
+    def test_unknown_suffixes_always_rejected(self, value, suffix):
+        with pytest.raises(ValueError):
+            parse_size(f"{value}{suffix}")
+
+
 class TestFormatHelpers:
     def test_format_count_thousands(self):
         assert format_count(1234567) == "1,234,567"
