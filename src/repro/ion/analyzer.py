@@ -53,8 +53,9 @@ from repro.llm.expert.model import SimulatedExpertLLM, parse_conclusions
 from repro.llm.interpreter import CodeInterpreter
 from repro.llm.messages import Message
 from repro.llm.resilience import BackoffPolicy, CircuitBreaker
+from repro.obs.trace import NULL_TRACER
 from repro.util.errors import AnalysisError, CircuitOpenError, LLMError
-from repro.util.metrics import MetricsRegistry
+from repro.util.metrics import LATENCY_BUCKETS, SIZE_BUCKETS, MetricsRegistry
 
 _SEVERITY_RE = re.compile(r"\[severity=(\w+)\]")
 _MITIGATIONS_RE = re.compile(r"\[mitigations=([\w,\s]+)\]")
@@ -191,10 +192,12 @@ class Analyzer:
         interpreter_factory: Callable[[Path], CodeInterpreter] | None = None,
         breaker: CircuitBreaker | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        tracer=None,
     ) -> None:
         self.client = client or SimulatedExpertLLM()
         self.config = config or AnalyzerConfig()
         self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer or NULL_TRACER
         self.interpreter_factory = interpreter_factory or CodeInterpreter
         #: Shared across every query of this analyzer; batch deployments
         #: pass one breaker to all worker analyzers so sustained backend
@@ -218,24 +221,33 @@ class Analyzer:
         queries that degrade; without it a degraded issue is reported
         as unexamined.
         """
-        with self.metrics.timer("analyzer.analyze.seconds").time():
-            trips_before = self.breaker.trips
-            fallback = DrishtiFallback(log, trace_name)
-            if self.config.strategy == "divide":
-                diagnoses, stats = self._analyze_divide(
-                    extraction, trace_name, fallback
+        with self.tracer.span(
+            "analyzer.analyze",
+            attributes={"trace": trace_name, "strategy": self.config.strategy},
+        ) as span:
+            with self.metrics.timer("analyzer.analyze.seconds").time():
+                trips_before = self.breaker.trips
+                fallback = DrishtiFallback(log, trace_name)
+                if self.config.strategy == "divide":
+                    diagnoses, stats = self._analyze_divide(
+                        extraction, trace_name, fallback
+                    )
+                else:
+                    diagnoses, stats = self._analyze_monolithic(
+                        extraction, trace_name, fallback
+                    )
+                report = DiagnosisReport(
+                    trace_name=trace_name, diagnoses=diagnoses
                 )
-            else:
-                diagnoses, stats = self._analyze_monolithic(
-                    extraction, trace_name, fallback
-                )
-            report = DiagnosisReport(trace_name=trace_name, diagnoses=diagnoses)
-            if self.config.summarize:
-                report.summary, summary_stats = self._summarize(
-                    trace_name, diagnoses
-                )
-                stats.append(summary_stats)
-            report.health = self._health_from(stats, trips_before)
+                if self.config.summarize:
+                    report.summary, summary_stats = self._summarize(
+                        trace_name, diagnoses
+                    )
+                    stats.append(summary_stats)
+                report.health = self._health_from(stats, trips_before)
+            span.set_attribute("queries", report.health.queries)
+            span.set_attribute("retries", report.health.retries)
+            span.set_attribute("degraded_queries", report.health.degraded)
         self.metrics.counter("analyzer.reports").inc()
         return report
 
@@ -250,18 +262,34 @@ class Analyzer:
         (:data:`_RETRYABLE`) are absorbed.
         """
         policy = self.config.resilience.policy()
+        span = self.tracer.current_span()
         started = time.perf_counter()
         attempts = 0
         reason = ""
+        last_delay = 0.0
         for attempt in range(1, policy.max_attempts + 1):
             if not self.breaker.allow():
                 self.metrics.counter("analyzer.breaker.short_circuited").inc()
+                span.add_event(
+                    "breaker.short_circuit",
+                    label=label,
+                    breaker=self.breaker.state.value,
+                )
                 short = CircuitOpenError(
                     f"circuit breaker open; {label} not attempted"
                 )
                 reason = f"{type(short).__name__}: {short}"
                 break
             attempts += 1
+            if attempts > 1:
+                # One event per re-attempt: the backoff delay that just
+                # elapsed and the breaker state letting the call through.
+                span.add_event(
+                    "retry",
+                    attempt=attempts,
+                    delay=round(last_delay, 9),
+                    breaker=self.breaker.state.value,
+                )
             self.metrics.counter("analyzer.queries.attempts").inc()
             try:
                 value = attempt_fn()
@@ -270,6 +298,11 @@ class Analyzer:
                 self.breaker.record_failure()
                 if self.breaker.trips > trips_before:
                     self.metrics.counter("analyzer.breaker.opened").inc()
+                    span.add_event(
+                        "breaker.opened",
+                        label=label,
+                        trips=self.breaker.trips,
+                    )
                 reason = f"{type(exc).__name__}: {exc}"
                 elapsed = time.perf_counter() - started
                 deadline = policy.deadline
@@ -282,6 +315,7 @@ class Analyzer:
                         delay = min(delay, max(deadline - elapsed, 0.0))
                     if delay > 0:
                         self._sleep(delay)
+                    last_delay = delay
                     self.metrics.counter("analyzer.queries.retries").inc()
                 continue
             self.breaker.record_success()
@@ -340,6 +374,10 @@ class Analyzer:
         fallback: DrishtiFallback,
     ) -> tuple[list[Diagnosis], list[_QueryStats]]:
         contexts = self._contexts(extraction)
+        # Captured before the pool: worker threads have no ambient span
+        # context, so the per-issue query spans take their parent by
+        # explicit handoff across the thread boundary.
+        parent = self.tracer.current_span()
 
         def run_one(context: IssueContext) -> tuple[Diagnosis, _QueryStats]:
             prompt = build_issue_prompt(
@@ -352,19 +390,35 @@ class Analyzer:
                 run = self._run_prompt(prompt, extraction)
                 return self._diagnosis_from_run(context.issue, run)
 
-            diagnosis, attempts, reason = self._with_resilience(
-                f"query:{context.issue.value}", attempt
-            )
-            stats = _QueryStats(
-                label=f"query:{context.issue.value}", attempts=attempts
-            )
-            if diagnosis is None:
-                diagnosis = self._degrade_or_raise(
-                    context.issue, fallback, reason
+            with self.tracer.span(
+                "analyzer.query",
+                attributes={"issue": context.issue.value},
+                parent=parent,
+            ) as span:
+                span.set_attribute("prompt.chars", len(prompt))
+                query_started = time.perf_counter()
+                diagnosis, attempts, reason = self._with_resilience(
+                    f"query:{context.issue.value}", attempt
                 )
-                stats.degraded = True
-                stats.fallback = diagnosis.fallback_source == "drishti"
-                stats.reason = reason
+                self.metrics.histogram(
+                    "analyzer.query.seconds", LATENCY_BUCKETS
+                ).observe(time.perf_counter() - query_started)
+                span.set_attribute("attempts", attempts)
+                stats = _QueryStats(
+                    label=f"query:{context.issue.value}", attempts=attempts
+                )
+                if diagnosis is None:
+                    diagnosis = self._degrade_or_raise(
+                        context.issue, fallback, reason
+                    )
+                    stats.degraded = True
+                    stats.fallback = diagnosis.fallback_source == "drishti"
+                    stats.reason = reason
+                    span.set_attribute("degraded", True)
+                    span.set_attribute(
+                        "fallback", diagnosis.fallback_source or "none"
+                    )
+                    span.set_attribute("reason", reason)
             return diagnosis, stats
 
         if self.config.parallel_prompts > 1:
@@ -415,41 +469,67 @@ class Analyzer:
                 )
             return diagnoses
 
-        diagnoses, attempts, reason = self._with_resilience(
-            "query:monolithic", attempt
-        )
-        stats = _QueryStats(label="query:monolithic", attempts=attempts)
-        if diagnoses is None:
-            # The one combined query failed: every issue degrades.
-            diagnoses = [
-                self._degrade_or_raise(issue, fallback, reason)
-                for issue in self.config.issues
-            ]
-            stats.degraded = True
-            stats.fallback = any(
-                d.fallback_source == "drishti" for d in diagnoses
+        with self.tracer.span(
+            "analyzer.query", attributes={"issue": "monolithic"}
+        ) as span:
+            span.set_attribute("prompt.chars", len(prompt))
+            query_started = time.perf_counter()
+            diagnoses, attempts, reason = self._with_resilience(
+                "query:monolithic", attempt
             )
-            stats.reason = reason
+            self.metrics.histogram(
+                "analyzer.query.seconds", LATENCY_BUCKETS
+            ).observe(time.perf_counter() - query_started)
+            span.set_attribute("attempts", attempts)
+            stats = _QueryStats(label="query:monolithic", attempts=attempts)
+            if diagnoses is None:
+                # The one combined query failed: every issue degrades.
+                diagnoses = [
+                    self._degrade_or_raise(issue, fallback, reason)
+                    for issue in self.config.issues
+                ]
+                stats.degraded = True
+                stats.fallback = any(
+                    d.fallback_source == "drishti" for d in diagnoses
+                )
+                stats.reason = reason
+                span.set_attribute("degraded", True)
+                span.set_attribute(
+                    "fallback", "drishti" if stats.fallback else "none"
+                )
+                span.set_attribute("reason", reason)
         return diagnoses, [stats]
 
     # -- plumbing ---------------------------------------------------------------
 
     def _run_prompt(self, prompt: str, extraction: ExtractionResult) -> Run:
         self.metrics.counter("analyzer.prompts").inc()
-        interpreter = self.interpreter_factory(extraction.directory)
-        assistant = Assistant(
-            client=self.client,
-            instructions=ASSISTANT_INSTRUCTIONS,
-            interpreter=interpreter,
-            max_tool_rounds=self.config.max_tool_rounds,
-        )
-        thread = Thread()
-        thread.add(Message.user(prompt))
-        run = assistant.run(thread)
-        if run.status != RunStatus.COMPLETED:
-            raise AnalysisError(
-                "analysis run failed to complete within the tool budget"
+        self.metrics.histogram(
+            "analyzer.prompt.chars", SIZE_BUCKETS
+        ).observe(len(prompt))
+        with self.tracer.span(
+            "llm.prompt", attributes={"prompt.chars": len(prompt)}
+        ) as span:
+            interpreter = self.interpreter_factory(extraction.directory)
+            assistant = Assistant(
+                client=self.client,
+                instructions=ASSISTANT_INSTRUCTIONS,
+                interpreter=interpreter,
+                max_tool_rounds=self.config.max_tool_rounds,
+                tracer=self.tracer,
             )
+            thread = Thread()
+            thread.add(Message.user(prompt))
+            run = assistant.run(thread)
+            span.set_attribute("rounds", len(run.steps))
+            span.set_attribute("completion.chars", len(run.final_text))
+            self.metrics.histogram(
+                "analyzer.completion.chars", SIZE_BUCKETS
+            ).observe(len(run.final_text))
+            if run.status != RunStatus.COMPLETED:
+                raise AnalysisError(
+                    "analysis run failed to complete within the tool budget"
+                )
         return run
 
     def _diagnosis_from_run(self, issue: IssueType, run: Run) -> Diagnosis:
@@ -549,18 +629,30 @@ class Analyzer:
         def attempt() -> str:
             return self.client.complete([Message.user(prompt)]).content
 
-        summary, attempts, reason = self._with_resilience(
-            "query:summary", attempt
-        )
-        stats = _QueryStats(label="query:summary", attempts=attempts)
-        if summary is None:
-            if not self.config.resilience.degrade:
-                raise AnalysisError(
-                    f"summarization query failed without degraded mode: "
-                    f"{reason}"
+        with self.tracer.span(
+            "analyzer.summarize", attributes={"prompt.chars": len(prompt)}
+        ) as span:
+            query_started = time.perf_counter()
+            summary, attempts, reason = self._with_resilience(
+                "query:summary", attempt
+            )
+            self.metrics.histogram(
+                "analyzer.query.seconds", LATENCY_BUCKETS
+            ).observe(time.perf_counter() - query_started)
+            span.set_attribute("attempts", attempts)
+            stats = _QueryStats(label="query:summary", attempts=attempts)
+            if summary is None:
+                if not self.config.resilience.degrade:
+                    raise AnalysisError(
+                        f"summarization query failed without degraded mode: "
+                        f"{reason}"
+                    )
+                self.metrics.counter("analyzer.queries.degraded").inc()
+                summary = compose_degraded_summary(
+                    trace_name, diagnoses, reason
                 )
-            self.metrics.counter("analyzer.queries.degraded").inc()
-            summary = compose_degraded_summary(trace_name, diagnoses, reason)
-            stats.degraded = True
-            stats.reason = reason
+                stats.degraded = True
+                stats.reason = reason
+                span.set_attribute("degraded", True)
+                span.set_attribute("reason", reason)
         return summary, stats

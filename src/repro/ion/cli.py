@@ -14,6 +14,7 @@ import sys
 from repro.ion.analyzer import AnalyzerConfig
 from repro.ion.pipeline import IoNavigator
 from repro.ion.report import render_report
+from repro.obs.cli import add_tracing_args, emit_telemetry, tracer_from_args
 from repro.util.console import suppress_broken_pipe
 from repro.util.errors import ReproError
 
@@ -82,6 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
              "'malformed:0.5:seed=7', 'interpreter_crash' "
              "(failed queries degrade to Drishti heuristics)",
     )
+    add_tracing_args(parser)
     return parser
 
 
@@ -137,21 +139,25 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     from repro.llm.expert.model import SimulatedExpertLLM
 
+    tracer = tracer_from_args(args)
     with IoNavigator(
         client=wrap_client(SimulatedExpertLLM()),
         config=config,
         workdir=args.workdir,
         interpreter_factory=interpreter_factory,
+        tracer=tracer,
     ) as navigator:
         try:
             result = navigator.diagnose_file(args.trace)
         except (ReproError, OSError) as exc:
             print(f"ion: error: {exc}", file=sys.stderr)
             return 1
-        return _emit(args, result)
+        status = _emit(args, result, tracer=tracer)
+        emit_telemetry(args, tracer, navigator.metrics)
+        return status
 
 
-def _emit(args: argparse.Namespace, result) -> int:
+def _emit(args: argparse.Namespace, result, tracer=None) -> int:
     print(render_report(result.report, show_code=args.show_code))
     for question in args.ask:
         print(f"Q: {question}")
@@ -177,8 +183,14 @@ def _emit(args: argparse.Namespace, result) -> int:
             print(f"  {item.issue.title}: {votes} -> voted {item.voted.value}")
     if args.html:
         from repro.ion.htmlreport import write_html
+        from repro.obs.summary import stage_rows
 
-        path = write_html(result.report, args.html, session=result.session)
+        timings = None
+        if tracer is not None and tracer.enabled:
+            timings = stage_rows(tracer.spans())
+        path = write_html(
+            result.report, args.html, session=result.session, timings=timings
+        )
         print(f"HTML report written to {path}")
     if args.json:
         from repro.ion.serialize import dump_report

@@ -21,6 +21,7 @@ from pathlib import Path
 from repro.darshan.binformat import read_log
 from repro.darshan.counters import counters_for, fcounters_for
 from repro.darshan.log import DarshanLog
+from repro.obs.trace import NULL_TRACER
 from repro.util.csvio import write_rows
 from repro.util.errors import ExtractionError
 from repro.util.metrics import MetricsRegistry
@@ -68,12 +69,16 @@ class Extractor:
     """Unpacks Darshan logs into the Analyzer's CSV interchange format."""
 
     def __init__(
-        self, rpc_size: int = 4 * MIB, metrics: MetricsRegistry | None = None
+        self,
+        rpc_size: int = 4 * MIB,
+        metrics: MetricsRegistry | None = None,
+        tracer=None,
     ) -> None:
         # The RPC size is not recorded in Darshan logs; like the paper,
         # it enters as a system hyper-parameter (default: Lustre's 4 MiB).
         self.rpc_size = rpc_size
         self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer or NULL_TRACER
 
     def extract_file(self, log_path: str | Path, out_dir: str | Path) -> ExtractionResult:
         """Parse a binary log file and extract its CSVs."""
@@ -81,8 +86,15 @@ class Extractor:
 
     def extract(self, log: DarshanLog, out_dir: str | Path) -> ExtractionResult:
         """Extract CSVs for every module present in ``log``."""
-        with self.metrics.timer("extractor.extract.seconds").time():
-            result = self._extract(log, out_dir)
+        with self.tracer.span("extractor.extract") as span:
+            with self.metrics.timer("extractor.extract.seconds").time():
+                result = self._extract(log, out_dir)
+            for module in sorted(result.row_counts):
+                span.add_event(
+                    "csv.emit", module=module, rows=result.row_counts[module]
+                )
+            span.set_attribute("modules", len(result.csv_paths))
+            span.set_attribute("rows", sum(result.row_counts.values()))
         self.metrics.counter("extractor.extractions").inc()
         self.metrics.counter("extractor.rows").inc(sum(result.row_counts.values()))
         return result

@@ -121,10 +121,35 @@ def _issue_section(diagnosis: Diagnosis) -> str:
     return "\n".join(parts)
 
 
+def _timings_table(timings) -> str:
+    """The "Pipeline timings" section from per-stage span aggregates."""
+    rows = "".join(
+        f"<tr><td>{html.escape(row.name)}</td><td>{row.count}</td>"
+        f"<td>{row.total:.6f}</td><td>{row.mean:.6f}</td>"
+        f"<td>{row.max:.6f}</td></tr>"
+        for row in timings
+    )
+    return (
+        "<h2>Pipeline timings</h2>"
+        '<table class="health"><tr><th>stage</th><th>count</th>'
+        "<th>total (s)</th><th>mean (s)</th><th>max (s)</th></tr>"
+        + rows
+        + "</table>"
+    )
+
+
 def render_html(
-    report: DiagnosisReport, session: IonSession | None = None
+    report: DiagnosisReport,
+    session: IonSession | None = None,
+    timings=None,
 ) -> str:
-    """Render a report (and optional Q&A history) as one HTML document."""
+    """Render a report (and optional Q&A history) as one HTML document.
+
+    ``timings`` (optional) is a list of per-stage
+    :class:`~repro.obs.summary.StageRow` aggregates recorded by a live
+    tracer; when omitted the document is byte-identical to pre-tracing
+    output.
+    """
     sections = []
     for group, title in (
         ([d for d in report.diagnoses if d.detected],
@@ -172,6 +197,8 @@ def render_html(
                 f"<li>{html.escape(note)}</li>" for note in health.notes
             )
             sections.append(f"<ul>{notes}</ul>")
+    if timings:
+        sections.append(_timings_table(timings))
     if session is not None and session.history:
         sections.append('<h2>Interactive session</h2><div class="qa">')
         for exchange in session.history:
@@ -201,9 +228,10 @@ def write_html(
     report: DiagnosisReport,
     path: str | Path,
     session: IonSession | None = None,
+    timings=None,
 ) -> Path:
     """Render and write the HTML report; returns the path written."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(render_html(report, session=session))
+    path.write_text(render_html(report, session=session, timings=timings))
     return path

@@ -17,6 +17,7 @@ from repro.ion.issues import DiagnosisReport
 from repro.ion.prompts import build_question_prompt
 from repro.llm.client import LLMClient
 from repro.llm.messages import Message
+from repro.obs.trace import NULL_TRACER
 from repro.util.errors import LLMError
 
 
@@ -55,6 +56,7 @@ class IonSession:
     client: LLMClient
     history: list[Exchange] = field(default_factory=list)
     degraded_answers: int = 0
+    tracer: object = field(default_factory=lambda: NULL_TRACER)
 
     def ask(self, question: str) -> str:
         """Ask a follow-up question; the answer cites measured evidence."""
@@ -64,23 +66,27 @@ class IonSession:
         prompt = build_question_prompt(
             self.report.trace_name, build_digest(self.report), question
         )
-        try:
-            answer = self.client.complete([Message.user(prompt)]).content
-        except LLMError as exc:
-            self.degraded_answers += 1
-            flagged = sorted(
-                issue.title for issue in self.report.detected_issues
-            )
-            summary = (
-                "; flagged issues: " + ", ".join(flagged)
-                if flagged
-                else "; no issues were flagged"
-            )
-            answer = (
-                f"(degraded answer — assistant unavailable: "
-                f"{type(exc).__name__}: {exc}) Refer to the diagnosis "
-                f"report for {self.report.trace_name}{summary}."
-            )
+        with self.tracer.span(
+            "session.ask", attributes={"turn": len(self.history) + 1}
+        ) as span:
+            try:
+                answer = self.client.complete([Message.user(prompt)]).content
+            except LLMError as exc:
+                self.degraded_answers += 1
+                span.set_attribute("degraded", True)
+                flagged = sorted(
+                    issue.title for issue in self.report.detected_issues
+                )
+                summary = (
+                    "; flagged issues: " + ", ".join(flagged)
+                    if flagged
+                    else "; no issues were flagged"
+                )
+                answer = (
+                    f"(degraded answer — assistant unavailable: "
+                    f"{type(exc).__name__}: {exc}) Refer to the diagnosis "
+                    f"report for {self.report.trace_name}{summary}."
+                )
         exchange = Exchange(question=question, answer=answer)
         self.history.append(exchange)
         return exchange.answer

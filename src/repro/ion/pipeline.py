@@ -29,6 +29,7 @@ from repro.ion.interactive import IonSession
 from repro.ion.issues import DiagnosisReport
 from repro.llm.client import LLMClient
 from repro.llm.expert.model import SimulatedExpertLLM
+from repro.obs.trace import NULL_TRACER
 from repro.util.metrics import MetricsRegistry
 from repro.util.units import MIB
 
@@ -58,16 +59,21 @@ class IoNavigator:
         cache: "ExtractionCache | None" = None,
         metrics: MetricsRegistry | None = None,
         interpreter_factory=None,
+        tracer=None,
     ) -> None:
         self.client = client or SimulatedExpertLLM()
         self.config = config or AnalyzerConfig()
         self.metrics = metrics or MetricsRegistry()
-        self.extractor = Extractor(rpc_size=rpc_size, metrics=self.metrics)
+        self.tracer = tracer or NULL_TRACER
+        self.extractor = Extractor(
+            rpc_size=rpc_size, metrics=self.metrics, tracer=self.tracer
+        )
         self.analyzer = Analyzer(
             client=self.client,
             config=self.config,
             metrics=self.metrics,
             interpreter_factory=interpreter_factory,
+            tracer=self.tracer,
         )
         self.cache = cache
         self._workdir = Path(workdir) if workdir else None
@@ -114,18 +120,30 @@ class IoNavigator:
 
     def diagnose(self, log: DarshanLog, trace_name: str = "trace") -> IonResult:
         """Diagnose an in-memory Darshan log."""
-        with self.metrics.timer("pipeline.diagnose.seconds").time():
-            extraction, hit = self._extract(log, trace_name)
-            return self._analyze(extraction, trace_name, log=log, cache_hit=hit)
+        with self.tracer.span(
+            "pipeline.diagnose", attributes={"trace": trace_name}
+        ) as span:
+            with self.metrics.timer("pipeline.diagnose.seconds").time():
+                extraction, hit = self._extract(log, trace_name)
+                span.set_attribute("cache.hit", hit)
+                return self._analyze(
+                    extraction, trace_name, log=log, cache_hit=hit
+                )
 
     def diagnose_file(self, log_path: str | Path) -> IonResult:
         """Diagnose a binary Darshan log file."""
         log_path = Path(log_path)
         trace_name = log_path.stem
         log = read_log(log_path)
-        with self.metrics.timer("pipeline.diagnose.seconds").time():
-            extraction, hit = self._extract(log, trace_name)
-            return self._analyze(extraction, trace_name, log=log, cache_hit=hit)
+        with self.tracer.span(
+            "pipeline.diagnose", attributes={"trace": trace_name}
+        ) as span:
+            with self.metrics.timer("pipeline.diagnose.seconds").time():
+                extraction, hit = self._extract(log, trace_name)
+                span.set_attribute("cache.hit", hit)
+                return self._analyze(
+                    extraction, trace_name, log=log, cache_hit=hit
+                )
 
     def _extract(
         self, log: DarshanLog, trace_name: str
@@ -142,7 +160,9 @@ class IoNavigator:
         cache_hit: bool = False,
     ) -> IonResult:
         report = self.analyzer.analyze(extraction, trace_name, log=log)
-        session = IonSession(report=report, client=self.client)
+        session = IonSession(
+            report=report, client=self.client, tracer=self.tracer
+        )
         return IonResult(
             report=report,
             extraction=extraction,

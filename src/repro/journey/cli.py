@@ -22,6 +22,7 @@ from repro.ion.analyzer import AnalyzerConfig
 from repro.ion.cli import fault_injection_from_args, resilience_from_args
 from repro.journey.executor import JourneyConfig, JourneyNavigator
 from repro.journey.render import render_journey
+from repro.obs.cli import add_tracing_args, emit_telemetry, tracer_from_args
 from repro.util.console import suppress_broken_pipe
 from repro.util.errors import ReproError
 from repro.workloads.cli import _parse_overrides
@@ -83,6 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
         "faults (see `ion --help`); degraded diagnoses still drive "
         "Drishti-heuristic recommendations",
     )
+    add_tracing_args(parser)
     return parser
 
 
@@ -106,17 +108,20 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     from repro.llm.expert.model import SimulatedExpertLLM
 
+    tracer = tracer_from_args(args)
     with JourneyNavigator(
         client=wrap_client(SimulatedExpertLLM()),
         analyzer_config=analyzer_config,
         journey_config=journey_config,
         interpreter_factory=interpreter_factory,
+        tracer=tracer,
     ) as navigator:
         try:
             report = navigator.navigate(workload)
         except (ReproError, OSError) as exc:
             print(f"ion-journey: error: {exc}", file=sys.stderr)
             return 1
+        metrics = navigator.metrics
     print(render_journey(report))
     if args.json:
         from repro.journey.serialize import dump_journey
@@ -125,9 +130,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"JSON journey written to {path}")
     if args.html:
         from repro.journey.htmlreport import write_journey_html
+        from repro.obs.summary import stage_rows
 
-        path = write_journey_html(report, args.html)
+        timings = stage_rows(tracer.spans()) if tracer.enabled else None
+        path = write_journey_html(report, args.html, timings=timings)
         print(f"HTML journey written to {path}")
+    emit_telemetry(args, tracer, metrics)
     return 0
 
 

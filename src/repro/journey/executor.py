@@ -45,6 +45,7 @@ from repro.journey.perf import PerfSnapshot
 from repro.journey.remedies import PlannedRemediation, plan_remedies
 from repro.llm.client import LLMClient
 from repro.llm.expert.model import SimulatedExpertLLM
+from repro.obs.trace import NULL_TRACER
 from repro.util.errors import JourneyError, WorkloadConfigError
 from repro.util.metrics import MetricsRegistry
 from repro.llm.resilience import CircuitBreaker
@@ -116,18 +117,23 @@ class JourneyNavigator:
         interpreter_factory: Callable | None = None,
         breaker: CircuitBreaker | None = None,
         rpc_size: int = 4 * MIB,
+        tracer=None,
     ) -> None:
         self.client = client or SimulatedExpertLLM()
         self.analyzer_config = analyzer_config or AnalyzerConfig()
         self.journey_config = journey_config or JourneyConfig()
         self.metrics = metrics or MetricsRegistry()
-        self.extractor = Extractor(rpc_size=rpc_size, metrics=self.metrics)
+        self.tracer = tracer or NULL_TRACER
+        self.extractor = Extractor(
+            rpc_size=rpc_size, metrics=self.metrics, tracer=self.tracer
+        )
         self.analyzer = Analyzer(
             client=self.client,
             config=self.analyzer_config,
             metrics=self.metrics,
             interpreter_factory=interpreter_factory,
             breaker=breaker,
+            tracer=self.tracer,
         )
         self._scratch: Path | None = None
 
@@ -162,7 +168,13 @@ class JourneyNavigator:
         """Run the full closed loop over a workload."""
         config = self.journey_config
         trace_name = getattr(workload, "name", "journey")
-        with self.metrics.timer("journey.navigate.seconds").time():
+        # ``new_trace=True``: each journey is its own trace even when a
+        # campaign pool thread is reused across workloads.
+        with self.tracer.span(
+            "journey.navigate",
+            attributes={"workload": trace_name},
+            new_trace=True,
+        ) as span, self.metrics.timer("journey.navigate.seconds").time():
             observation = self._observe(workload, trace_name)
             initial = observation
             steps: list[JourneyStep] = []
@@ -240,6 +252,9 @@ class JourneyNavigator:
                 workload, observation = patched_by_action[
                     best.remediation.action
                 ]
+            span.set_attribute("status", status.value)
+            span.set_attribute("steps", len(steps))
+            span.set_attribute("applied", applied_count)
             return JourneyReport(
                 trace_name=trace_name,
                 status=status,
@@ -277,16 +292,26 @@ class JourneyNavigator:
 
     def _observe(self, workload: Workload, trace_name: str) -> _Observation:
         """Simulate, extract, diagnose and snapshot one configuration."""
-        bundle = workload.run(scale=self.journey_config.scale)
-        extraction = self.extractor.extract(
-            bundle.log, self._extraction_dir(trace_name)
-        )
-        # Passing the log enables the Drishti fallback, so degraded
-        # diagnoses still drive recommendations instead of crashing.
-        report = self.analyzer.analyze(extraction, trace_name, log=bundle.log)
-        return _Observation(
-            report=report, perf=PerfSnapshot.from_log(bundle.log)
-        )
+        with self.tracer.span(
+            "journey.observe", attributes={"trace": trace_name}
+        ) as span:
+            with self.tracer.span("simulate"):
+                bundle = workload.run(scale=self.journey_config.scale)
+            extraction = self.extractor.extract(
+                bundle.log, self._extraction_dir(trace_name)
+            )
+            # Passing the log enables the Drishti fallback, so degraded
+            # diagnoses still drive recommendations instead of crashing.
+            report = self.analyzer.analyze(
+                extraction, trace_name, log=bundle.log
+            )
+            span.set_attribute("issues", len(report.detected_issues))
+            # Not named "degraded": that key is reserved for query spans
+            # so trace summaries count each degraded query exactly once.
+            span.set_attribute("degraded_issues", len(report.degraded_issues))
+            return _Observation(
+                report=report, perf=PerfSnapshot.from_log(bundle.log)
+            )
 
     def _attempt(
         self,
@@ -298,32 +323,44 @@ class JourneyNavigator:
     ) -> tuple[RemediationAttempt, Workload | None, _Observation | None]:
         """Try one planned remediation against the step's baseline."""
         remediation = plan.remediation
-        try:
-            patched, diff = apply_config_changes(workload, plan.changes)
-        except WorkloadConfigError as exc:
+        with self.tracer.span(
+            "journey.attempt",
+            attributes={
+                "action": remediation.action,
+                "issue": remediation.issue.value,
+                "step": step_index,
+            },
+        ) as span:
+            try:
+                patched, diff = apply_config_changes(workload, plan.changes)
+            except WorkloadConfigError as exc:
+                span.set_attribute("verdict", Verdict.INAPPLICABLE.value)
+                span.set_attribute("reason", str(exc))
+                attempt = RemediationAttempt(
+                    remediation=remediation,
+                    changes=tuple(describe_changes(workload, plan.changes)),
+                    verdict=Verdict.INAPPLICABLE,
+                    reason=str(exc),
+                )
+                return attempt, None, None
+            patched_obs = self._observe(
+                patched, f"{trace_name}-s{step_index}-{remediation.action}"
+            )
+            verdict, reason = self._judge(remediation, baseline, patched_obs)
+            span.set_attribute("verdict", verdict.value)
+            span.set_attribute("reason", reason)
             attempt = RemediationAttempt(
                 remediation=remediation,
-                changes=tuple(describe_changes(workload, plan.changes)),
-                verdict=Verdict.INAPPLICABLE,
-                reason=str(exc),
+                changes=tuple(diff),
+                verdict=verdict,
+                reason=reason,
+                issues_after=patched_obs.detected,
+                cleared=baseline.detected - patched_obs.detected,
+                introduced=patched_obs.detected - baseline.detected,
+                perf_after=patched_obs.perf,
+                degraded=patched_obs.degraded,
             )
-            return attempt, None, None
-        patched_obs = self._observe(
-            patched, f"{trace_name}-s{step_index}-{remediation.action}"
-        )
-        verdict, reason = self._judge(remediation, baseline, patched_obs)
-        attempt = RemediationAttempt(
-            remediation=remediation,
-            changes=tuple(diff),
-            verdict=verdict,
-            reason=reason,
-            issues_after=patched_obs.detected,
-            cleared=baseline.detected - patched_obs.detected,
-            introduced=patched_obs.detected - baseline.detected,
-            perf_after=patched_obs.perf,
-            degraded=patched_obs.degraded,
-        )
-        return attempt, patched, patched_obs
+            return attempt, patched, patched_obs
 
     def _judge(
         self, remediation, baseline: _Observation, after: _Observation

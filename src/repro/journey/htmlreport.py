@@ -132,8 +132,31 @@ def _step_section(step: JourneyStep) -> str:
     return "\n".join(parts)
 
 
-def render_journey_html(report: JourneyReport) -> str:
-    """Render a journey report as one HTML document."""
+def _timings_table(timings) -> str:
+    """The "Pipeline timings" section from per-stage span aggregates."""
+    rows = "".join(
+        f"<tr><td>{html.escape(row.name)}</td><td>{row.count}</td>"
+        f"<td>{row.total:.6f}</td><td>{row.mean:.6f}</td>"
+        f"<td>{row.max:.6f}</td></tr>"
+        for row in timings
+    )
+    return (
+        "<h2>Pipeline timings</h2>"
+        '<table class="perf"><tr><th>stage</th><th>count</th>'
+        "<th>total (s)</th><th>mean (s)</th><th>max (s)</th></tr>"
+        + rows
+        + "</table>"
+    )
+
+
+def render_journey_html(report: JourneyReport, timings=None) -> str:
+    """Render a journey report as one HTML document.
+
+    ``timings`` (optional) is a list of per-stage
+    :class:`~repro.obs.summary.StageRow` aggregates recorded by a live
+    tracer; when omitted the document is byte-identical to pre-tracing
+    output.
+    """
     label, fg, bg = _STATUS_STYLE[report.status]
     sections = [f"<p>Outcome: {_badge(label, fg, bg)}</p>"]
     sections.append(
@@ -163,6 +186,8 @@ def render_journey_html(report: JourneyReport) -> str:
     if remaining:
         issues = ", ".join(sorted(issue.value for issue in remaining))
         sections.append(f"<p>Remaining issues: {html.escape(issues)}</p>")
+    if timings:
+        sections.append(_timings_table(timings))
     body = "\n".join(sections)
     return f"""<!DOCTYPE html>
 <html lang="en">
@@ -180,9 +205,11 @@ def render_journey_html(report: JourneyReport) -> str:
 """
 
 
-def write_journey_html(report: JourneyReport, path: str | Path) -> Path:
+def write_journey_html(
+    report: JourneyReport, path: str | Path, timings=None
+) -> Path:
     """Render and write the journey HTML; returns the path written."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(render_journey_html(report))
+    path.write_text(render_journey_html(report, timings=timings))
     return path

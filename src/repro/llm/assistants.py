@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from repro.llm.client import LLMClient
 from repro.llm.interpreter import CodeInterpreter, ExecutionResult
 from repro.llm.messages import Completion, Message
+from repro.obs.trace import NULL_TRACER
 from repro.util.errors import LLMError
 
 
@@ -94,6 +95,7 @@ class Assistant:
         instructions: str,
         interpreter: CodeInterpreter | None = None,
         max_tool_rounds: int = 6,
+        tracer=None,
     ) -> None:
         if max_tool_rounds < 1:
             raise LLMError("max_tool_rounds must be at least 1")
@@ -101,6 +103,7 @@ class Assistant:
         self.instructions = instructions
         self.interpreter = interpreter
         self.max_tool_rounds = max_tool_rounds
+        self.tracer = tracer or NULL_TRACER
 
     def run(self, thread: Thread) -> Run:
         """Drive the model over ``thread`` until it stops calling tools.
@@ -112,26 +115,31 @@ class Assistant:
         """
         steps: list[RunStep] = []
         conversation = [Message.system(self.instructions), *thread.messages]
-        for _ in range(self.max_tool_rounds):
-            completion = self.client.complete(conversation)
-            if completion.content:
-                assistant_msg = Message.assistant(completion.content)
-                conversation.append(assistant_msg)
-                thread.add(assistant_msg)
-            if not completion.wants_tool:
-                steps.append(RunStep(completion=completion))
-                return Run(status=RunStatus.COMPLETED, steps=steps)
-            if self.interpreter is None:
-                raise LLMError(
-                    "model requested code execution but the assistant has "
-                    "no code interpreter attached"
+        for round_index in range(self.max_tool_rounds):
+            with self.tracer.span(
+                "llm.round", attributes={"round": round_index}
+            ) as span:
+                completion = self.client.complete(conversation)
+                if completion.content:
+                    assistant_msg = Message.assistant(completion.content)
+                    conversation.append(assistant_msg)
+                    thread.add(assistant_msg)
+                if not completion.wants_tool:
+                    steps.append(RunStep(completion=completion))
+                    return Run(status=RunStatus.COMPLETED, steps=steps)
+                if self.interpreter is None:
+                    raise LLMError(
+                        "model requested code execution but the assistant has "
+                        "no code interpreter attached"
+                    )
+                span.set_attribute("tool", "code_interpreter")
+                execution = self.interpreter.run(completion.code_call.code)
+                span.set_attribute("tool.ok", execution.ok)
+                steps.append(RunStep(completion=completion, execution=execution))
+                payload = execution.stdout if execution.ok else (
+                    f"[execution error]\n{execution.error}"
                 )
-            execution = self.interpreter.run(completion.code_call.code)
-            steps.append(RunStep(completion=completion, execution=execution))
-            payload = execution.stdout if execution.ok else (
-                f"[execution error]\n{execution.error}"
-            )
-            tool_msg = Message.tool(payload)
-            conversation.append(tool_msg)
-            thread.add(tool_msg)
+                tool_msg = Message.tool(payload)
+                conversation.append(tool_msg)
+                thread.add(tool_msg)
         return Run(status=RunStatus.FAILED, steps=steps)

@@ -1,0 +1,56 @@
+"""Span tracing and telemetry export for the ION pipeline (``repro.obs``).
+
+The :class:`~repro.util.metrics.MetricsRegistry` answers "how much and
+how long, in aggregate"; this package answers "what happened, in what
+order, caused by what".  A :class:`~repro.obs.trace.Tracer` records a
+tree of :class:`~repro.obs.trace.Span` objects — one per pipeline
+stage, LLM query, retry envelope, tool round, journey attempt — with
+trace/span IDs, parent links, attributes and point-in-time events.
+
+Tracing is zero-overhead by default: every instrumented component
+accepts ``tracer=None`` and falls back to the shared
+:data:`~repro.obs.trace.NULL_TRACER`, whose span context managers do
+nothing.  Clock and ID sources are injectable so tests (and the golden
+trace-summary snapshot) are fully deterministic.
+
+Exporters live in :mod:`repro.obs.export` (JSONL, Chrome trace-event
+JSON for Perfetto/``chrome://tracing``, Prometheus text exposition);
+:mod:`repro.obs.summary` distills a recorded trace into the
+deterministic per-stage report the ``ion-trace`` CLI prints.
+"""
+
+from repro.obs.export import (
+    load_spans,
+    render_prometheus,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+    write_trace,
+)
+from repro.obs.summary import render_summary, stage_rows, summarize
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanEvent,
+    Tracer,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "load_spans",
+    "render_prometheus",
+    "render_summary",
+    "stage_rows",
+    "summarize",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_prometheus",
+    "write_trace",
+]

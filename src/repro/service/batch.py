@@ -34,6 +34,7 @@ from repro.ion.extractor import ExtractionResult, Extractor
 from repro.ion.issues import DiagnosisReport
 from repro.llm.client import LLMClient
 from repro.llm.expert.model import SimulatedExpertLLM
+from repro.obs.trace import NULL_TRACER
 from repro.service.cache import CacheStats, ExtractionCache
 from repro.util.errors import BatchError
 from repro.util.metrics import MetricsRegistry
@@ -271,18 +272,22 @@ class BatchNavigator:
         cache: ExtractionCache | None = None,
         metrics: MetricsRegistry | None = None,
         interpreter_factory=None,
+        tracer=None,
     ) -> None:
         self.client = client or SimulatedExpertLLM()
         self.config = config or BatchConfig()
         self.metrics = metrics or MetricsRegistry()
         self.cache = cache
         self.interpreter_factory = interpreter_factory
+        self.tracer = tracer or NULL_TRACER
         # One breaker for the whole campaign: sustained LLM-backend
         # failure trips every worker at once instead of each worker
         # rediscovering it.
         self.breaker = self.config.analyzer.resilience.breaker()
         self.extractor = Extractor(
-            rpc_size=self.config.rpc_size, metrics=self.metrics
+            rpc_size=self.config.rpc_size,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
         self._local = threading.local()
         self._scratch: Path | None = None
@@ -321,11 +326,19 @@ class BatchNavigator:
         if not jobs:
             raise BatchError("batch campaign received no traces")
         started = time.perf_counter()
-        with ThreadPoolExecutor(
-            max_workers=self.config.max_workers,
-            thread_name_prefix="ion-batch",
-        ) as pool:
-            outcomes = list(pool.map(self._run_one, jobs))
+        with self.tracer.span(
+            "batch.campaign",
+            attributes={"traces": len(jobs)},
+            new_trace=True,
+        ) as campaign:
+            with ThreadPoolExecutor(
+                max_workers=self.config.max_workers,
+                thread_name_prefix="ion-batch",
+            ) as pool:
+                outcomes = list(pool.map(self._run_one, jobs))
+            campaign.set_attribute(
+                "failed", sum(1 for o in outcomes if not o.ok)
+            )
         elapsed = time.perf_counter() - started
         self.metrics.counter("batch.campaigns").inc()
         if self.config.fail_fast:
@@ -374,12 +387,22 @@ class BatchNavigator:
         if not jobs:
             raise BatchError("journey campaign received no workloads")
         started = time.perf_counter()
-        with ThreadPoolExecutor(
-            max_workers=self.config.max_workers,
-            thread_name_prefix="ion-journey",
-        ) as pool:
-            outcomes = list(
-                pool.map(lambda job: self._run_one_journey(job, config), jobs)
+        with self.tracer.span(
+            "batch.campaign",
+            attributes={"kind": "journeys", "workloads": len(jobs)},
+            new_trace=True,
+        ) as campaign:
+            with ThreadPoolExecutor(
+                max_workers=self.config.max_workers,
+                thread_name_prefix="ion-journey",
+            ) as pool:
+                outcomes = list(
+                    pool.map(
+                        lambda job: self._run_one_journey(job, config), jobs
+                    )
+                )
+            campaign.set_attribute(
+                "failed", sum(1 for o in outcomes if not o.ok)
             )
         elapsed = time.perf_counter() - started
         self.metrics.counter("batch.journey_campaigns").inc()
@@ -413,6 +436,7 @@ class BatchNavigator:
                 interpreter_factory=self.interpreter_factory,
                 breaker=self.breaker,
                 rpc_size=self.config.rpc_size,
+                tracer=self.tracer,
             ) as navigator:
                 outcome.report = navigator.navigate(workload)
             self.metrics.counter("batch.journeys.ok").inc()
@@ -436,6 +460,7 @@ class BatchNavigator:
                 metrics=self.metrics,
                 interpreter_factory=self.interpreter_factory,
                 breaker=self.breaker,
+                tracer=self.tracer,
             )
             self._local.analyzer = analyzer
         return analyzer
@@ -444,26 +469,40 @@ class BatchNavigator:
         index, name, log = job
         outcome = TraceOutcome(index=index, name=name)
         started = time.perf_counter()
-        try:
-            if isinstance(log, Path):
-                # File I/O is deferred to the worker so one unreadable
-                # log is an outcome, not a campaign abort.
-                log = read_log(log)
-            if self.cache is not None:
-                extraction, hit = self.cache.get_or_extract(log, self.extractor)
-            else:
-                extraction = self.extractor.extract(
-                    log, self._extraction_dir(index, name)
+        # ``new_trace=True``: pool threads are reused across traces, so
+        # a leftover ambient span from a previous job must never become
+        # this trace's parent — every trace gets its own root.
+        with self.tracer.span(
+            "trace.diagnose",
+            attributes={"trace": name, "index": index},
+            new_trace=True,
+        ) as span:
+            try:
+                if isinstance(log, Path):
+                    # File I/O is deferred to the worker so one unreadable
+                    # log is an outcome, not a campaign abort.
+                    log = read_log(log)
+                if self.cache is not None:
+                    extraction, hit = self.cache.get_or_extract(
+                        log, self.extractor
+                    )
+                else:
+                    extraction = self.extractor.extract(
+                        log, self._extraction_dir(index, name)
+                    )
+                    hit = False
+                span.set_attribute("cache.hit", hit)
+                outcome.extraction = extraction
+                outcome.cache_hit = hit
+                outcome.report = self._analyzer().analyze(
+                    extraction, name, log=log
                 )
-                hit = False
-            outcome.extraction = extraction
-            outcome.cache_hit = hit
-            outcome.report = self._analyzer().analyze(extraction, name, log=log)
-            self.metrics.counter("batch.traces.ok").inc()
-        except Exception as exc:  # noqa: BLE001 — isolate per-trace faults
-            outcome.error = f"{type(exc).__name__}: {exc}"
-            outcome.traceback = traceback_module.format_exc()
-            self.metrics.counter("batch.traces.failed").inc()
+                self.metrics.counter("batch.traces.ok").inc()
+            except Exception as exc:  # noqa: BLE001 — isolate per-trace faults
+                outcome.error = f"{type(exc).__name__}: {exc}"
+                outcome.traceback = traceback_module.format_exc()
+                span.set_status("error", outcome.error)
+                self.metrics.counter("batch.traces.failed").inc()
         outcome.duration_seconds = time.perf_counter() - started
         return outcome
 

@@ -22,6 +22,7 @@ import sys
 from repro.ion.analyzer import AnalyzerConfig
 from repro.ion.report import render_report
 from repro.ion.serialize import report_to_dict
+from repro.obs.cli import add_tracing_args, emit_telemetry, tracer_from_args
 from repro.service.batch import BatchConfig, BatchNavigator
 from repro.service.cache import ExtractionCache
 from repro.util.console import suppress_broken_pipe
@@ -123,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
              "faults, e.g. 'transient:0.3' (failed queries degrade to "
              "Drishti heuristics; see `ion --help`)",
     )
+    add_tracing_args(parser)
     return parser
 
 
@@ -165,11 +167,13 @@ def main(argv: list[str] | None = None) -> int:
             fail_fast=args.fail_fast,
         )
         wrap_client, interpreter_factory = fault_injection_from_args(args)
+        tracer = tracer_from_args(args)
         with BatchNavigator(
             client=wrap_client(SimulatedExpertLLM()),
             config=config,
             cache=cache,
             interpreter_factory=interpreter_factory,
+            tracer=tracer,
         ) as navigator:
             if args.journey:
                 from repro.journey.executor import JourneyConfig
@@ -180,8 +184,11 @@ def main(argv: list[str] | None = None) -> int:
                         max_steps=args.journey_steps, scale=args.scale
                     ),
                 )
-                return _emit_journeys(args, summary)
+                status = _emit_journeys(args, summary)
+                emit_telemetry(args, tracer, navigator.metrics)
+                return status
             summary = navigator.run(_gather_traces(args))
+            emit_telemetry(args, tracer, navigator.metrics)
     except (ReproError, OSError, ValueError) as exc:
         print(f"ion-batch: error: {exc}", file=sys.stderr)
         return 1

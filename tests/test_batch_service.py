@@ -112,7 +112,7 @@ class TestBatchStress:
         with BatchNavigator(config=BatchConfig(max_workers=8)) as navigator:
             summary = navigator.run(bundles)
         assert len(summary.succeeded) == 24
-        assert summary.metrics["batch.traces.ok"] == 24
+        assert navigator.metrics.counter_value("batch.traces.ok") == 24
 
 
 class TestBatchCache:
@@ -144,7 +144,7 @@ class TestBatchCache:
         assert second.cache.hits == 8
         # Faster in work terms: extraction time per trace dropped to
         # zero, so the total timer count stayed at the first run's.
-        assert second.metrics["extractor.extract.seconds.count"] == 8
+        assert metrics.timer_stats("extractor.extract.seconds").count == 8
         # Reports are identical either way.
         for a, b in zip(first.outcomes, second.outcomes):
             assert render_report(a.report) == render_report(b.report)
@@ -181,7 +181,7 @@ class TestBatchFailureIsolation:
         assert "ExtractionError" in failure.traceback
         assert failure.report is None
         assert failure.issue_count == 0
-        assert summary.metrics["batch.traces.failed"] == 1
+        assert navigator.metrics.counter_value("batch.traces.failed") == 1
         for success in summary.succeeded:
             assert success.traceback is None
 

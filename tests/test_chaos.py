@@ -157,8 +157,14 @@ class TestTotalOutage:
         health = report.health
         assert health.degraded == health.queries == len(IssueType) + 1
         assert not health.healthy
-        assert metrics.snapshot()["analyzer.queries.degraded"] == health.degraded
-        assert metrics.snapshot()["analyzer.fallback.drishti"] == len(IssueType)
+        assert (
+            metrics.counter_value("analyzer.queries.degraded")
+            == health.degraded
+        )
+        assert (
+            metrics.counter_value("analyzer.fallback.drishti")
+            == len(IssueType)
+        )
 
     def test_outage_without_a_log_degrades_without_drishti(
         self, easy_extraction
@@ -209,10 +215,15 @@ class TestTransientRecovery:
         assert health.retries == plan.faults_injected > 0
         assert health.attempts == health.queries + health.retries
         assert health.breaker_state == "closed"
-        snapshot = metrics.snapshot()
-        assert snapshot["analyzer.queries.retries"] == health.retries
-        assert snapshot["analyzer.queries.attempts"] == health.attempts
-        assert "analyzer.queries.degraded" not in snapshot
+        assert (
+            metrics.counter_value("analyzer.queries.retries")
+            == health.retries
+        )
+        assert (
+            metrics.counter_value("analyzer.queries.attempts")
+            == health.attempts
+        )
+        assert metrics.counter_value("analyzer.queries.degraded") == 0
         # The recovered report is indistinguishable from a clean run.
         clean = Analyzer(
             config=AnalyzerConfig(parallel_prompts=1)
@@ -249,10 +260,12 @@ class TestCircuitBreaker:
         assert health.breaker_trips == 1
         # Two real attempts tripped the breaker; every later query was
         # refused without touching the backend.
-        snapshot = metrics.snapshot()
-        assert snapshot["analyzer.queries.attempts"] == 2
-        assert snapshot["analyzer.breaker.opened"] == 1
-        assert snapshot["analyzer.breaker.short_circuited"] == health.queries - 2
+        assert metrics.counter_value("analyzer.queries.attempts") == 2
+        assert metrics.counter_value("analyzer.breaker.opened") == 1
+        assert (
+            metrics.counter_value("analyzer.breaker.short_circuited")
+            == health.queries - 2
+        )
         assert any("CircuitOpenError" in note for note in health.notes)
         assert all(d.degraded for d in report.diagnoses)
 

@@ -161,8 +161,7 @@ class TestScratchLifecycle:
         metrics = MetricsRegistry()
         with IoNavigator(metrics=metrics) as navigator:
             navigator.diagnose(easy_2k_bundle.log, "t")
-        snap = metrics.snapshot()
-        assert snap["pipeline.diagnose.seconds.count"] == 1
-        assert snap["analyzer.reports"] == 1
-        assert snap["extractor.extractions"] == 1
-        assert snap["analyzer.prompts"] >= 1
+        assert metrics.timer_stats("pipeline.diagnose.seconds").count == 1
+        assert metrics.counter_value("analyzer.reports") == 1
+        assert metrics.counter_value("extractor.extractions") == 1
+        assert metrics.counter_value("analyzer.prompts") >= 1

@@ -1,0 +1,117 @@
+"""Golden regression test for the ``ion-trace`` summary text.
+
+A paper-scale journey over the seeded small-transfers IOR trace is
+recorded with a fixed-step clock, sequential span IDs and a serial
+prompt pool, so the rendered trace summary — stage table, slowest
+spans, critical paths, retry/degradation ledger — is byte-stable.  Any
+drift in span names, nesting, attributes or the renderer shows up as a
+one-character diff.
+
+If a change is *intentional*, regenerate the snapshot::
+
+    ION_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_trace_golden.py
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.ion.analyzer import AnalyzerConfig
+from repro.journey.executor import JourneyConfig, JourneyNavigator
+from repro.obs.summary import render_summary, summarize
+from repro.obs.trace import Tracer, ticking_clock
+from repro.workloads import make_workload
+
+GOLDEN = Path(__file__).parent / "golden" / "ior-easy-2k-shared.trace-summary.txt"
+
+
+def _check_against(golden: Path, rendered: str) -> None:
+    if os.environ.get("ION_REGEN_GOLDEN"):
+        golden.write_text(rendered, encoding="utf-8")
+
+    expected = golden.read_text(encoding="utf-8")
+    if rendered != expected:
+        diff = "\n".join(
+            difflib.unified_diff(
+                expected.splitlines(),
+                rendered.splitlines(),
+                fromfile="golden",
+                tofile="current",
+                lineterm="",
+            )
+        )
+        raise AssertionError(
+            "trace summary drifted from the golden snapshot; if the "
+            "change is intentional rerun with ION_REGEN_GOLDEN=1.\n" + diff
+        )
+
+
+@pytest.fixture(scope="module")
+def traced_journey():
+    """The paper-scale journey recorded under a deterministic tracer."""
+    tracer = Tracer(clock=ticking_clock())
+    workload = make_workload("ior-easy-2k-shared")
+    with JourneyNavigator(
+        # Serial prompts: worker-pool interleaving would reorder span
+        # IDs and clock ticks, breaking byte-stability.
+        analyzer_config=AnalyzerConfig(parallel_prompts=1),
+        journey_config=JourneyConfig(scale=1.0),
+        tracer=tracer,
+    ) as navigator:
+        report = navigator.navigate(workload)
+    return tracer, report
+
+
+def test_trace_summary_matches_golden_snapshot(traced_journey):
+    tracer, _report = traced_journey
+    _check_against(GOLDEN, render_summary(summarize(tracer.spans())))
+
+
+def test_recording_is_deterministic(traced_journey):
+    tracer, _report = traced_journey
+    first = render_summary(summarize(tracer.spans()))
+    repeat = Tracer(clock=ticking_clock())
+    with JourneyNavigator(
+        analyzer_config=AnalyzerConfig(parallel_prompts=1),
+        journey_config=JourneyConfig(scale=1.0),
+        tracer=repeat,
+    ) as navigator:
+        navigator.navigate(make_workload("ior-easy-2k-shared"))
+    assert render_summary(summarize(repeat.spans())) == first
+
+
+def test_golden_snapshot_stays_complete():
+    # The snapshot must keep describing a full traced journey: the
+    # stage table, the navigate/observe/attempt span hierarchy and the
+    # per-trace ledger with a critical path.
+    text = GOLDEN.read_text(encoding="utf-8")
+    assert "ION trace summary" in text
+    assert "--- Stages (by total time) ---" in text
+    assert "journey.navigate" in text
+    assert "journey.attempt" in text
+    assert "analyzer.query" in text
+    assert "simulate" in text
+    assert "critical path: journey.navigate(ior-easy-2k-shared)" in text
+    assert text.endswith("\n")
+
+
+def test_spans_cover_every_pipeline_layer(traced_journey):
+    tracer, report = traced_journey
+    names = {span.name for span in tracer.spans()}
+    assert {
+        "journey.navigate", "journey.observe", "journey.attempt",
+        "simulate", "extractor.extract", "analyzer.analyze",
+        "analyzer.query",
+        "llm.prompt", "llm.round", "analyzer.summarize",
+    } <= names
+    # Spans alone recover the journey's step count.
+    attempts = [
+        s for s in tracer.spans() if s.name == "journey.attempt"
+    ]
+    assert len(attempts) == sum(
+        len(step.attempts) for step in report.steps
+    )
