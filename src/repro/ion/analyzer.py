@@ -51,6 +51,7 @@ from repro.llm.assistants import Assistant, Run, RunStatus, Thread
 from repro.llm.client import LLMClient
 from repro.llm.expert.model import SimulatedExpertLLM, parse_conclusions
 from repro.llm.interpreter import CodeInterpreter
+from repro.sca.policy import GuardPolicy
 from repro.llm.messages import Message
 from repro.llm.resilience import BackoffPolicy, CircuitBreaker
 from repro.obs.trace import NULL_TRACER
@@ -152,10 +153,18 @@ class AnalyzerConfig:
     parallel_prompts: int = 4
     summarize: bool = True
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    #: Static vetting of model-generated code before execution:
+    #: "off", "warn" (count but execute), or "enforce" (reject BLOCK
+    #: verdicts with traceback-style feedback).  Enforce is the default.
+    guard: GuardPolicy | str = GuardPolicy.ENFORCE
 
     def __post_init__(self) -> None:
         if self.strategy not in ("divide", "monolithic"):
             raise AnalysisError(f"unknown strategy {self.strategy!r}")
+        try:
+            self.guard = GuardPolicy.parse(self.guard)
+        except ValueError as exc:
+            raise AnalysisError(str(exc)) from None
         if self.parallel_prompts < 1:
             raise AnalysisError("parallel_prompts must be at least 1")
         if self.max_tool_rounds < 1:
@@ -198,7 +207,7 @@ class Analyzer:
         self.config = config or AnalyzerConfig()
         self.metrics = metrics or MetricsRegistry()
         self.tracer = tracer or NULL_TRACER
-        self.interpreter_factory = interpreter_factory or CodeInterpreter
+        self.interpreter_factory = interpreter_factory or self._default_interpreter
         #: Shared across every query of this analyzer; batch deployments
         #: pass one breaker to all worker analyzers so sustained backend
         #: failure trips the whole fleet, not one worker at a time.
@@ -206,6 +215,17 @@ class Analyzer:
         self._sleep = sleep
         # Jitter source: seeded so retry schedules are reproducible.
         self._rng = random.Random(0)
+
+    def _default_interpreter(self, workdir: Path) -> CodeInterpreter:
+        # Threads the guard policy, metrics and tracer into every
+        # sandbox the analyzer spins up; custom factories (fault
+        # shims, tests) bypass this and configure their own.
+        return CodeInterpreter(
+            workdir,
+            guard=self.config.guard,
+            metrics=self.metrics,
+            tracer=self.tracer,
+        )
 
     # -- public API ------------------------------------------------------
 

@@ -80,11 +80,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--inject-faults", default=None, metavar="SPEC",
         help="chaos-testing aid: inject deterministic LLM/interpreter "
              "faults, e.g. 'transient', 'timeout:0.3', "
-             "'malformed:0.5:seed=7', 'interpreter_crash' "
+             "'malformed:0.5:seed=7', 'interpreter_crash', 'guard_reject' "
              "(failed queries degrade to Drishti heuristics)",
     )
+    add_guard_arg(parser)
     add_tracing_args(parser)
     return parser
+
+
+def add_guard_arg(parser: argparse.ArgumentParser) -> None:
+    """Add the shared ``--guard`` flag (static code vetting policy)."""
+    parser.add_argument(
+        "--guard",
+        choices=("off", "warn", "enforce"),
+        default="enforce",
+        help="static vetting of model-generated code before execution "
+             "(default: enforce; 'warn' counts violations but executes, "
+             "'off' disables the guard)",
+    )
 
 
 def resilience_from_args(args: argparse.Namespace):
@@ -104,21 +117,20 @@ def fault_injection_from_args(args: argparse.Namespace):
     if args.inject_faults is None:
         return (lambda client: client), None
     from repro.llm.faults import (
-        FaultKind,
+        INTERPRETER_FAULT_KINDS,
         FaultPlan,
         FaultyCodeInterpreter,
         FaultyLLMClient,
+        parse_fault_kind,
     )
     from repro.llm.interpreter import CodeInterpreter
 
     plan = FaultPlan.parse(args.inject_faults)
-    if args.inject_faults.split(":")[0].strip().lower() in (
-        "interpreter",
-        FaultKind.INTERPRETER_CRASH.value,
-    ):
+    if parse_fault_kind(args.inject_faults) in INTERPRETER_FAULT_KINDS:
+        guard = getattr(args, "guard", "enforce")
         return (lambda client: client), (
             lambda workdir: FaultyCodeInterpreter(
-                CodeInterpreter(workdir), plan
+                CodeInterpreter(workdir, guard=guard), plan
             )
         )
     return (lambda client: FaultyLLMClient(client, plan)), None
@@ -132,6 +144,7 @@ def main(argv: list[str] | None = None) -> int:
             strategy=args.strategy,
             include_context=not args.no_context,
             resilience=resilience_from_args(args),
+            guard=args.guard,
         )
         wrap_client, interpreter_factory = fault_injection_from_args(args)
     except ReproError as exc:

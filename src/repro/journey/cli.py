@@ -19,7 +19,11 @@ import argparse
 import sys
 
 from repro.ion.analyzer import AnalyzerConfig
-from repro.ion.cli import fault_injection_from_args, resilience_from_args
+from repro.ion.cli import (
+    add_guard_arg,
+    fault_injection_from_args,
+    resilience_from_args,
+)
 from repro.journey.executor import JourneyConfig, JourneyNavigator
 from repro.journey.render import render_journey
 from repro.obs.cli import add_tracing_args, emit_telemetry, tracer_from_args
@@ -84,6 +88,7 @@ def build_parser() -> argparse.ArgumentParser:
         "faults (see `ion --help`); degraded diagnoses still drive "
         "Drishti-heuristic recommendations",
     )
+    add_guard_arg(parser)
     add_tracing_args(parser)
     return parser
 
@@ -95,6 +100,7 @@ def main(argv: list[str] | None = None) -> int:
         analyzer_config = AnalyzerConfig(
             strategy=args.strategy,
             resilience=resilience_from_args(args),
+            guard=args.guard,
         )
         journey_config = JourneyConfig(
             max_steps=args.max_steps, scale=args.scale

@@ -75,6 +75,15 @@ class Run:
             if step.execution is not None and not step.execution.ok
         )
 
+    @property
+    def guard_rejections(self) -> int:
+        """How many code executions CodeGuard refused pre-execution."""
+        return sum(
+            1
+            for step in self.steps
+            if step.execution is not None and step.execution.guard_blocked
+        )
+
 
 @dataclass
 class Thread:
@@ -135,6 +144,8 @@ class Assistant:
                 span.set_attribute("tool", "code_interpreter")
                 execution = self.interpreter.run(completion.code_call.code)
                 span.set_attribute("tool.ok", execution.ok)
+                if execution.guard_blocked:
+                    span.set_attribute("tool.guard_blocked", True)
                 steps.append(RunStep(completion=completion, execution=execution))
                 payload = execution.stdout if execution.ok else (
                     f"[execution error]\n{execution.error}"

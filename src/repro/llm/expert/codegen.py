@@ -13,6 +13,7 @@ plain loops: it must run inside the restricted interpreter sandbox.
 
 from __future__ import annotations
 
+import ast
 from pathlib import Path
 
 #: Upper bin edges matching the Darshan size-histogram labels.
@@ -569,3 +570,39 @@ print(json.dumps({
 }))
 """
     )
+
+
+def strip_imports(code: str, modules: "set[str] | frozenset[str]") -> str:
+    """Remove imports of ``modules`` (by root name) from ``code``.
+
+    This is the expert's repair action for ``sca.import`` guard
+    rejections: regenerate the analysis and drop any import whose root
+    module the sandbox refuses.  Multi-name statements keep their
+    surviving names (``import csv, os`` → ``import csv``).  Code that
+    does not parse is returned unchanged — the interpreter will report
+    the syntax error itself.
+    """
+    try:
+        tree = ast.parse(code)
+    except SyntaxError:
+        return code
+    lines = code.splitlines()
+    edits: list[tuple[int, int, str | None]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            kept = [a for a in node.names if a.name.split(".")[0] not in modules]
+            if len(kept) == len(node.names):
+                continue
+            replacement = None
+            if kept:
+                replacement = "import " + ", ".join(
+                    a.name + (f" as {a.asname}" if a.asname else "") for a in kept
+                )
+            edits.append((node.lineno, node.end_lineno or node.lineno, replacement))
+        elif isinstance(node, ast.ImportFrom):
+            root = (node.module or "").split(".")[0]
+            if node.level or root in modules:
+                edits.append((node.lineno, node.end_lineno or node.lineno, None))
+    for start, end, replacement in sorted(edits, reverse=True):
+        lines[start - 1 : end] = [replacement] if replacement is not None else []
+    return "\n".join(lines) + ("\n" if code.endswith("\n") else "")

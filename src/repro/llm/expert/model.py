@@ -21,6 +21,7 @@ import re
 
 from repro.ion.issues import IssueType
 from repro.llm.expert import narrator
+from repro.llm.expert.codegen import strip_imports
 from repro.llm.expert.attention import ATTENTION_BUDGET_CHARS, attended_issues
 from repro.llm.expert.promptspec import PromptSpec, parse_prompt
 from repro.llm.expert.skills import Verdict, skill_for
@@ -28,6 +29,10 @@ from repro.llm.messages import CodeCall, Completion, Message, Role
 from repro.util.errors import LLMError
 
 _ISSUE_MARKER = "### ISSUE:"
+
+#: Matches the guard's ``[sca.import] line N: module 'x'`` feedback
+#: lines (see :meth:`repro.sca.violations.GuardVerdict.render_feedback`).
+_GUARD_IMPORT_RE = re.compile(r"\[sca\.import\] line \d+: module '([A-Za-z_][\w.]*)'")
 
 
 class SimulatedExpertLLM:
@@ -136,6 +141,9 @@ class SimulatedExpertLLM:
     def _debug_turn(
         self, spec: PromptSpec, issues: list[IssueType], error_text: str
     ) -> Completion:
+        banned = frozenset(_GUARD_IMPORT_RE.findall(error_text))
+        if banned:
+            return self._guard_repair_turn(spec, issues, banned, error_text)
         sections: list[str] = []
         for issue in issues:
             if not self._analyzable(spec, issue):
@@ -153,6 +161,39 @@ class SimulatedExpertLLM:
             ),
             code_call=CodeCall("\n\n".join(sections)),
             metadata={"debug_retry": True},
+        )
+
+    def _guard_repair_turn(
+        self,
+        spec: PromptSpec,
+        issues: list[IssueType],
+        banned: frozenset[str],
+        error_text: str,
+    ) -> Completion:
+        """Repair an ``sca.import`` guard rejection.
+
+        The sandbox guard names the refused modules in its feedback;
+        the expert regenerates the analysis with those imports removed
+        rather than falling back to the defensive counter-only code —
+        a guard rejection is a policy problem, not a data problem.
+        """
+        sections: list[str] = []
+        for issue in issues:
+            if not self._analyzable(spec, issue):
+                continue
+            code = strip_imports(skill_for(issue).code(spec), banned)
+            sections.append(f'print("{_ISSUE_MARKER} {issue.value}")\n' + code)
+        if not sections:
+            return Completion(content=self._failure_conclusions(issues, error_text))
+        listed = ", ".join(sorted(banned))
+        return Completion(
+            content=(
+                "The sandbox guard rejected the previous code because it "
+                f"imported disallowed module(s): {listed}. I will resubmit "
+                "the analysis without those imports."
+            ),
+            code_call=CodeCall("\n\n".join(sections)),
+            metadata={"debug_retry": True, "guard_repair": sorted(banned)},
         )
 
     def _conclusion_turn(

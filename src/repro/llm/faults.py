@@ -56,13 +56,31 @@ class FaultKind(enum.Enum):
     TRUNCATED = "truncated"  # completion arrives cut off mid-text
     SLOW = "slow"  # completion arrives, late
     INTERPRETER_CRASH = "interpreter_crash"  # harness-level sandbox crash
+    GUARD_REJECT = "guard_reject"  # disallowed import smuggled into code
 
 
 #: Aliases accepted by :meth:`FaultPlan.parse`.
 _KIND_ALIASES = {
     "interpreter": FaultKind.INTERPRETER_CRASH,
+    "guard": FaultKind.GUARD_REJECT,
     **{kind.value: kind for kind in FaultKind},
 }
+
+#: Kinds that fault the interpreter stage rather than the LLM stage;
+#: CLI fault routing uses this to pick which shim hosts the plan.
+INTERPRETER_FAULT_KINDS = frozenset(
+    {FaultKind.INTERPRETER_CRASH, FaultKind.GUARD_REJECT}
+)
+
+
+def parse_fault_kind(spec: str) -> FaultKind:
+    """The :class:`FaultKind` named by a ``--inject-faults`` spec."""
+    head = spec.split(":", 1)[0].strip().lower()
+    kind = _KIND_ALIASES.get(head)
+    if kind is None:
+        known = ", ".join(sorted(_KIND_ALIASES))
+        raise FaultSpecError(f"unknown fault kind {head!r} (known: {known})")
+    return kind
 
 
 @dataclass(frozen=True)
@@ -261,7 +279,7 @@ class FaultyLLMClient:
         if not self._matches(messages):
             return self.inner.complete(messages)
         kind = self.plan.next_fault("llm")
-        if kind is None or kind is FaultKind.INTERPRETER_CRASH:
+        if kind is None or kind in INTERPRETER_FAULT_KINDS:
             return self.inner.complete(messages)
         if kind is FaultKind.TIMEOUT:
             raise LLMTimeoutError("injected fault: call exceeded its deadline")
@@ -287,9 +305,11 @@ class FaultyCodeInterpreter:
     """A :class:`CodeInterpreter` wrapper that injects sandbox faults.
 
     ``INTERPRETER_CRASH`` raises — simulating the harness itself dying
-    mid-execution, which the analyzer must absorb.  Any other
-    scheduled kind is rendered as an in-sandbox execution failure,
-    which merely feeds the model's debug-retry loop.
+    mid-execution, which the analyzer must absorb.  ``GUARD_REJECT``
+    taints the code with a disallowed import before handing it to the
+    real interpreter, exercising the CodeGuard rejection/repair path.
+    Any other scheduled kind is rendered as an in-sandbox execution
+    failure, which merely feeds the model's debug-retry loop.
     """
 
     def __init__(self, inner: CodeInterpreter, plan: FaultPlan) -> None:
@@ -306,6 +326,14 @@ class FaultyCodeInterpreter:
             raise CodeInterpreterError(
                 "injected fault: code interpreter crashed mid-execution"
             )
+        if kind is FaultKind.GUARD_REJECT:
+            # Smuggle a disallowed import into the model's code, as if
+            # the model had emitted it: with the guard enforcing, the
+            # run is refused pre-execution and the feedback drives the
+            # expert's import-repair path; with the guard off, the
+            # runtime allow-list raises ImportError instead.
+            tainted = "import os  # injected fault: smuggled import\n" + code
+            return self.inner.run(tainted)
         if kind is not None:
             return ExecutionResult(
                 stdout="",

@@ -1,0 +1,30 @@
+"""Static code analysis (SCA) for the ION pipeline.
+
+Two faces share one AST-walking core (:mod:`repro.sca.walker`):
+
+- :class:`~repro.sca.guard.CodeGuard` vets every model-generated
+  analysis snippet *before* the sandbox executes it, turning policy
+  violations into structured, explainable verdicts that feed the
+  model's debug-retry loop;
+- :mod:`repro.sca.lint` (the ``ion-lint`` CLI) enforces repo-wide
+  project invariants over ``src/`` — registered span/metric names,
+  sanctioned file I/O, no mutable defaults, no silent exception
+  swallowing — against a committed baseline.
+
+The sandbox surface itself (allowed modules, blocked builtins) lives
+in :data:`repro.sca.policy.SANDBOX_POLICY`, consumed by both the
+static guard and the runtime interpreter so the two can never drift.
+"""
+
+from repro.sca.guard import CodeGuard
+from repro.sca.policy import GuardPolicy, SANDBOX_POLICY
+from repro.sca.violations import GuardSeverity, GuardVerdict, Violation
+
+__all__ = [
+    "CodeGuard",
+    "GuardPolicy",
+    "GuardSeverity",
+    "GuardVerdict",
+    "SANDBOX_POLICY",
+    "Violation",
+]

@@ -1,0 +1,88 @@
+"""Count-based lint baselines for intentional exemptions.
+
+A baseline records, per ``<path>::<rule>`` key, how many violations
+are grandfathered in.  Counts (rather than exact line numbers) make
+the baseline robust to unrelated edits that shift lines, while still
+failing CI the moment a file gains a *new* violation of a rule it was
+exempted for.  Fixing a violation leaves the baseline stale but
+harmless; ``ion-lint --write-baseline`` re-tightens it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.sca.violations import Violation
+
+BASELINE_VERSION = 1
+
+
+def violation_key(violation: Violation) -> str:
+    return f"{violation.path}::{violation.rule}"
+
+
+def violation_counts(violations: Iterable[Violation]) -> dict[str, int]:
+    return dict(Counter(violation_key(v) for v in violations))
+
+
+def load_baseline(path: Path) -> dict[str, int]:
+    """Load a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return {}
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} in {path}"
+        )
+    entries = payload.get("entries", {})
+    return {str(key): int(count) for key, count in entries.items()}
+
+
+def render_baseline(violations: Iterable[Violation]) -> str:
+    """Serialize the current violations as a baseline document."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": dict(sorted(violation_counts(violations).items())),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+@dataclass
+class BaselineDiff:
+    """Current violations split against a baseline."""
+
+    #: Violations under keys whose count exceeds the baseline —
+    #: these fail the run.  The whole key's findings are listed so
+    #: the author sees every candidate site, not a guessed line.
+    new: list[Violation] = field(default_factory=list)
+    #: Violations fully covered by the baseline.
+    exempted: list[Violation] = field(default_factory=list)
+    #: Baseline keys with more exemptions than current findings
+    #: (stale after a fix; tighten with ``--write-baseline``).
+    stale: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not self.new
+
+
+def compare(violations: Iterable[Violation], baseline: Mapping[str, int]) -> BaselineDiff:
+    violations = sorted(violations, key=Violation.sort_key)
+    current = violation_counts(violations)
+    diff = BaselineDiff()
+    exceeded = {key for key, count in current.items() if count > baseline.get(key, 0)}
+    for violation in violations:
+        if violation_key(violation) in exceeded:
+            diff.new.append(violation)
+        else:
+            diff.exempted.append(violation)
+    diff.stale = {
+        key: allowed - current.get(key, 0)
+        for key, allowed in sorted(baseline.items())
+        if allowed > current.get(key, 0)
+    }
+    return diff

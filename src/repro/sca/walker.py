@@ -1,0 +1,108 @@
+"""Single-walk rule dispatch shared by CodeGuard and ``ion-lint``.
+
+A :class:`Rule` declares interest in AST node types by defining
+``visit_<NodeType>`` methods, exactly like :class:`ast.NodeVisitor` —
+but instead of each rule walking the tree independently,
+:func:`run_rules` walks it **once** and dispatches every node to all
+interested rules through a type-indexed table.  With a handful of
+guard rules running on every generated snippet (and a dozen lint
+rules over all of ``src/``), one walk keeps vetting cost flat no
+matter how many rules accrue.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.sca.violations import GuardSeverity, Violation
+
+
+@dataclass
+class WalkContext:
+    """Mutable state threaded through one walk of one source file."""
+
+    #: Repo-relative path of the file being walked ("" for snippets).
+    path: str = ""
+    #: The raw source, for rules that need text (e.g. receiver names).
+    source: str = ""
+    violations: list[Violation] = field(default_factory=list)
+
+    def report(
+        self,
+        rule: str,
+        severity: GuardSeverity,
+        node: ast.AST,
+        message: str,
+        hint: str = "",
+    ) -> None:
+        self.violations.append(
+            Violation(
+                rule=rule,
+                severity=severity,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+                hint=hint,
+                path=self.path,
+            )
+        )
+
+
+class Rule:
+    """Base class for walk rules.
+
+    Subclasses set ``rule_id``/``severity`` and add
+    ``visit_<NodeType>(self, node, ctx)`` methods.  A rule may also
+    override :meth:`finish` to report findings that need whole-file
+    context after the walk completes.
+    """
+
+    rule_id: str = ""
+    severity: GuardSeverity = GuardSeverity.BLOCK
+
+    def report(self, ctx: WalkContext, node: ast.AST, message: str, hint: str = "") -> None:
+        ctx.report(self.rule_id, self.severity, node, message, hint)
+
+    def finish(self, ctx: WalkContext) -> None:  # pragma: no cover - default no-op
+        """Called once after the walk; override for whole-file rules."""
+
+
+def _dispatch_table(
+    rules: Iterable[Rule],
+) -> dict[type, list[Callable[[ast.AST, WalkContext], None]]]:
+    table: dict[type, list[Callable[[ast.AST, WalkContext], None]]] = {}
+    for rule in rules:
+        for name in dir(rule):
+            if not name.startswith("visit_"):
+                continue
+            node_type = getattr(ast, name[len("visit_") :], None)
+            if node_type is None or not isinstance(node_type, type):
+                raise TypeError(f"{rule!r} visits unknown AST node type {name[6:]!r}")
+            table.setdefault(node_type, []).append(getattr(rule, name))
+    return table
+
+
+def run_rules(
+    tree: ast.AST,
+    rules: Iterable[Rule],
+    *,
+    path: str = "",
+    source: str = "",
+) -> list[Violation]:
+    """Walk ``tree`` once, dispatching every node to all rules.
+
+    Returns the collected violations sorted by (path, line, col,
+    rule) so every consumer — guard feedback, lint text, lint JSON —
+    is deterministic for free.
+    """
+    rules = list(rules)
+    table = _dispatch_table(rules)
+    ctx = WalkContext(path=path, source=source)
+    for node in ast.walk(tree):
+        for handler in table.get(type(node), ()):
+            handler(node, ctx)
+    for rule in rules:
+        rule.finish(ctx)
+    return sorted(ctx.violations, key=Violation.sort_key)

@@ -124,6 +124,9 @@ def build_parser() -> argparse.ArgumentParser:
              "faults, e.g. 'transient:0.3' (failed queries degrade to "
              "Drishti heuristics; see `ion --help`)",
     )
+    from repro.ion.cli import add_guard_arg
+
+    add_guard_arg(parser)
     add_tracing_args(parser)
     return parser
 
@@ -163,6 +166,7 @@ def main(argv: list[str] | None = None) -> int:
             analyzer=AnalyzerConfig(
                 strategy=args.strategy,
                 resilience=resilience_from_args(args),
+                guard=args.guard,
             ),
             fail_fast=args.fail_fast,
         )

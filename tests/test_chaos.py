@@ -25,6 +25,7 @@ from repro.ion.issues import IssueType
 from repro.ion.pipeline import IoNavigator
 from repro.llm.expert.model import SimulatedExpertLLM
 from repro.llm.faults import (
+    INTERPRETER_FAULT_KINDS,
     FaultKind,
     FaultPlan,
     FaultyCodeInterpreter,
@@ -47,6 +48,7 @@ MATRIX_KINDS = (
     FaultKind.TRANSIENT,
     FaultKind.MALFORMED,
     FaultKind.INTERPRETER_CRASH,
+    FaultKind.GUARD_REJECT,
 )
 
 
@@ -81,7 +83,7 @@ class TestChaosMatrix:
         # itself.
         client = SimulatedExpertLLM()
         interpreter_factory = None
-        if kind is FaultKind.INTERPRETER_CRASH:
+        if kind in INTERPRETER_FAULT_KINDS:
             # The interpreter only runs during issue queries, so the
             # stage dimension collapses: inject into the sandbox.
             plan = FaultPlan.first(1, kind)
@@ -231,6 +233,50 @@ class TestTransientRecovery:
         for faulted, reference in zip(report.diagnoses, clean.diagnoses):
             assert faulted.severity == reference.severity
             assert faulted.conclusion == reference.conclusion
+
+
+class TestGuardRejectRecovery:
+    def test_smuggled_import_repaired_without_degradation(
+        self, easy_extraction, easy_2k_bundle
+    ):
+        # The injected fault taints the first snippet with `import os`;
+        # the static guard rejects it pre-execution and the expert's
+        # debug turn strips the import and resubmits.  The diagnosis
+        # must come back clean-equivalent, not degraded.
+        plan = FaultPlan.first(1, FaultKind.GUARD_REJECT)
+        metrics = MetricsRegistry()
+        analyzer = Analyzer(
+            config=AnalyzerConfig(
+                parallel_prompts=1, resilience=fast_resilience()
+            ),
+            metrics=metrics,
+            interpreter_factory=lambda workdir: FaultyCodeInterpreter(
+                CodeInterpreter(workdir, metrics=metrics), plan
+            ),
+        )
+        report = analyzer.analyze(
+            easy_extraction, "smuggler", log=easy_2k_bundle.log
+        )
+        assert plan.faults_injected == 1
+        assert metrics.counter_value("sca.vet.rejected") == 1
+        assert report.health.degraded == 0
+        clean = Analyzer(
+            config=AnalyzerConfig(parallel_prompts=1)
+        ).analyze(easy_extraction, "smuggler", log=easy_2k_bundle.log)
+        for faulted, reference in zip(report.diagnoses, clean.diagnoses):
+            assert faulted.severity == reference.severity
+            assert faulted.conclusion == reference.conclusion
+
+    def test_ion_guard_reject_spec(self, trace_path, capsys):
+        # Below rate 0.5 the Bresenham plan never faults twice in a
+        # row, so every rejected snippet's debug retry lands clean.
+        code = ion_cli.main(
+            [trace_path, "--inject-faults", "guard_reject:0.3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ION diagnosis report" in out
+        assert "DEGRADED" not in out
 
 
 class TestCircuitBreaker:

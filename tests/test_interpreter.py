@@ -16,6 +16,18 @@ def interpreter(tmp_path):
     return CodeInterpreter(tmp_path)
 
 
+@pytest.fixture()
+def runtime_only(tmp_path):
+    """An interpreter with static vetting off.
+
+    The runtime-sandbox tests target the *second* containment layer
+    (guarded import/open/builtins); with the default enforce guard the
+    static layer would reject these snippets before execution.
+    """
+    (tmp_path / "data.csv").write_text("a,b\n1,2\n3,4\n")
+    return CodeInterpreter(tmp_path, guard="off")
+
+
 class TestExecution:
     def test_print_captured(self, interpreter):
         result = interpreter.run("print('hello', 42)")
@@ -61,44 +73,134 @@ class TestExecution:
 
 
 class TestSandboxing:
-    def test_disallowed_import_blocked(self, interpreter):
-        result = interpreter.run("import os")
+    """The runtime containment layer, with static vetting disabled."""
+
+    def test_disallowed_import_blocked(self, runtime_only):
+        result = runtime_only.run("import os")
         assert not result.ok
         assert "ImportError" in result.error
 
-    def test_subimport_blocked(self, interpreter):
-        result = interpreter.run("import os.path")
+    def test_subimport_blocked(self, runtime_only):
+        result = runtime_only.run("import os.path")
         assert not result.ok
 
-    def test_allowed_imports_work(self, interpreter):
-        result = interpreter.run(
+    def test_allowed_imports_work(self, runtime_only):
+        result = runtime_only.run(
             "import math, statistics, itertools, re\nprint(math.pi > 3)"
         )
         assert result.ok
 
-    def test_write_mode_blocked(self, interpreter):
-        result = interpreter.run("open('data.csv', 'w')")
+    def test_write_mode_blocked(self, runtime_only):
+        result = runtime_only.run("open('data.csv', 'w')")
         assert not result.ok
         assert "PermissionError" in result.error
 
-    def test_append_mode_blocked(self, interpreter):
-        assert not interpreter.run("open('x', 'a')").ok
+    def test_append_mode_blocked(self, runtime_only):
+        assert not runtime_only.run("open('x', 'a')").ok
 
-    def test_path_escape_blocked(self, interpreter):
-        result = interpreter.run("open('../outside.txt')")
+    def test_path_escape_blocked(self, runtime_only):
+        result = runtime_only.run("open('../outside.txt')")
         assert not result.ok
         assert "PermissionError" in result.error
 
-    def test_absolute_escape_blocked(self, interpreter):
-        result = interpreter.run("open('/etc/hostname')")
+    def test_absolute_escape_blocked(self, runtime_only):
+        result = runtime_only.run("open('/etc/hostname')")
         assert not result.ok
 
-    def test_eval_exec_removed(self, interpreter):
-        assert not interpreter.run("eval('1+1')").ok
-        assert not interpreter.run("exec('x=1')").ok
+    def test_eval_exec_removed(self, runtime_only):
+        assert not runtime_only.run("eval('1+1')").ok
+        assert not runtime_only.run("exec('x=1')").ok
 
-    def test_dunder_import_removed(self, interpreter):
-        assert not interpreter.run("__import__('os')").ok
+    def test_dunder_import_removed(self, runtime_only):
+        assert not runtime_only.run("__import__('os')").ok
+
+
+class TestRuntimeHardening:
+    """Defense in depth behind the static guard (satellite 2)."""
+
+    def test_getattr_cannot_reach_underscore_attributes(self, runtime_only):
+        result = runtime_only.run("print(getattr((), '__class__'))")
+        assert not result.ok
+        assert "AttributeError" in result.error
+
+    def test_getattr_cannot_reach_blocked_builtin_names(self, runtime_only):
+        result = runtime_only.run(
+            "import json\nprint(getattr(json, 'eval', None))"
+        )
+        assert not result.ok
+        assert "AttributeError" in result.error
+
+    def test_getattr_with_default_still_guards(self, runtime_only):
+        result = runtime_only.run("print(getattr({}, '_secret', 'd'))")
+        assert not result.ok
+
+    def test_getattr_on_public_attributes_works(self, runtime_only):
+        result = runtime_only.run("print(getattr(dict(a=1), 'get')('a'))")
+        assert result.ok
+        assert result.stdout == "1\n"
+
+    def test_open_rejects_file_descriptors(self, runtime_only):
+        result = runtime_only.run("open(0)")
+        assert not result.ok
+        assert "PermissionError" in result.error
+
+    def test_open_rejects_dynamic_escape_path(self, runtime_only):
+        result = runtime_only.run(
+            "p = '/' + 'etc' + '/hostname'\nopen(p)"
+        )
+        assert not result.ok
+        assert "PermissionError" in result.error
+
+
+class TestGuardWiring:
+    """The static layer in front of execution (enforce by default)."""
+
+    def test_enforce_is_the_default(self, tmp_path):
+        from repro.sca.policy import GuardPolicy
+
+        assert CodeInterpreter(tmp_path).guard is GuardPolicy.ENFORCE
+
+    def test_enforce_blocks_before_execution(self, interpreter):
+        result = interpreter.run("import os\nprint('leaked')")
+        assert not result.ok
+        assert result.guard_blocked
+        assert "GuardViolation" in result.error
+        assert "[sca.import]" in result.error
+        assert result.stdout == ""
+
+    def test_warn_mode_executes_despite_block_verdict(self, tmp_path):
+        from repro.util.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        interpreter = CodeInterpreter(tmp_path, guard="warn", metrics=metrics)
+        result = interpreter.run("import os")
+        # Execution proceeded and the *runtime* layer refused the import.
+        assert not result.guard_blocked
+        assert "ImportError" in result.error
+        assert metrics.counter_value("sca.vet.blocked") == 1
+        assert metrics.counter_value("sca.vet.rejected") == 0
+
+    def test_enforce_counts_rejections(self, tmp_path):
+        from repro.util.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        interpreter = CodeInterpreter(tmp_path, metrics=metrics)
+        interpreter.run("print('fine')")
+        interpreter.run("x = eval")
+        assert metrics.counter_value("sca.vet.checks") == 2
+        assert metrics.counter_value("sca.vet.blocked") == 1
+        assert metrics.counter_value("sca.vet.rejected") == 1
+
+    def test_vet_emits_span(self, tmp_path):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        interpreter = CodeInterpreter(tmp_path, tracer=tracer)
+        interpreter.run("import subprocess")
+        spans = [s for s in tracer.spans() if s.name == "sca.vet"]
+        assert len(spans) == 1
+        assert spans[0].attributes["blocked"] is True
+        assert any(e.name == "violation" for e in spans[0].events)
 
 
 class TestConcurrency:
